@@ -1,0 +1,39 @@
+"""Benchmark harness support.
+
+Every figure bench runs its driver once under pytest-benchmark, prints
+the reproduced rows next to the paper's claim (the record kept in
+EXPERIMENTS.md), and asserts the shape checks.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.config import SimConfig
+
+#: Effort used by the figure benches (matches figures.common.FIGURE_SIM).
+BENCH_SIM = SimConfig(seed=1234, refs_per_proc=250_000, warmup_fraction=0.5)
+
+#: Rendered figure tables are persisted here so a plain
+#: ``pytest benchmarks/ --benchmark-only`` run (no ``-s``) still leaves
+#: the paper-vs-measured record on disk.
+REPORT_DIR = Path(__file__).resolve().parent.parent / "benchmark_reports"
+
+
+def run_figure_bench(benchmark, module, sim: SimConfig) -> None:
+    """Run one figure driver under the benchmark, report, and verify."""
+    result = benchmark.pedantic(module.run, args=(sim,), iterations=1, rounds=1)
+    lines = [result.render()]
+    failures = []
+    for claim, ok in module.checks(result):
+        lines.append(f'  [{"ok" if ok else "FAIL"}] {claim}')
+        if not ok:
+            failures.append(claim)
+    report = "\n".join(lines)
+    print()
+    print(report)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{result.figure_id}.txt").write_text(report + "\n")
+    assert not failures, f"shape checks failed: {failures}"

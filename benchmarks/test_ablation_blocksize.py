@@ -1,0 +1,45 @@
+"""Ablation: cache block size (DESIGN.md decision 1).
+
+The paper fixes 64-byte blocks; this bench replays the same traces at
+32/64/128 B.  Larger blocks help the sequential components (code,
+allocation, marshalling) and waste capacity on the pointer-chasing
+tree descents — the classic spatial-locality trade.
+"""
+
+from bench_support import BENCH_SIM
+
+from repro.figures.common import make_workload
+from repro.memsys.multisim import simulate_miss_curve
+from repro.rng import RngFactory
+from repro.units import mb
+
+BLOCKS = [32, 64, 128]
+
+
+def _sweep() -> dict:
+    out = {}
+    for name in ("specjbb", "ecperf"):
+        workload = make_workload(name, scale=8)
+        bundle = workload.generate(1, BENCH_SIM, RngFactory(seed=BENCH_SIM.seed))
+        trace = bundle.merged()
+        rows = {}
+        for block in BLOCKS:
+            points = simulate_miss_curve(
+                trace, [mb(1)], kind="data", assoc=4, block=block, warmup_fraction=0.5
+            )
+            rows[block] = points[0].mpki
+        out[name] = rows
+    return out
+
+
+def test_ablation_block_size(benchmark):
+    results = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    print()
+    print("data misses/1000 instr at 1 MB, by block size")
+    print("workload   " + "  ".join(f"{b:>5d}B" for b in BLOCKS))
+    for name, rows in results.items():
+        print(f"{name:9}  " + "  ".join(f"{rows[b]:6.2f}" for b in BLOCKS))
+    for name, rows in results.items():
+        # Spatial locality: the smallest block misses most per instr.
+        assert rows[32] >= rows[64] * 0.9, name
+        assert all(v >= 0 for v in rows.values())

@@ -1,0 +1,73 @@
+"""Ablation: which mechanism produces which feature of Figure 4.
+
+The throughput model composes four mechanisms (DESIGN.md decision 4).
+Switching each off shows its fingerprint:
+
+- no falling path length  -> ECperf loses its super-linearity;
+- no kernel contention    -> ECperf stops declining past its peak;
+- no lock/pool contention -> SPECjbb stops leveling off;
+- no GC                   -> a small uniform lift (Figure 9).
+"""
+
+from bench_support import BENCH_SIM
+from dataclasses import replace
+
+from repro.figures.common import measured_cpi_fn
+from repro.osmodel.netstack import KernelNetworkModel
+from repro.perfmodel import (
+    ContentionModel,
+    PathLengthModel,
+    ThroughputModel,
+    WorkloadScalingParams,
+)
+
+PROCS = [1, 2, 4, 8, 12, 15]
+
+
+def _curves() -> dict:
+    cpi_ec = measured_cpi_fn("ecperf", BENCH_SIM)
+    cpi_jbb = measured_cpi_fn("specjbb", BENCH_SIM)
+    ec = WorkloadScalingParams.ecperf_default()
+    jbb = WorkloadScalingParams.specjbb_default()
+    variants = {
+        "ecperf.full": (ec, cpi_ec),
+        "ecperf.flat_path": (
+            replace(ec, path_length=PathLengthModel.flat()),
+            cpi_ec,
+        ),
+        "ecperf.no_kernel": (
+            replace(ec, kernel=KernelNetworkModel.none()),
+            cpi_ec,
+        ),
+        "specjbb.full": (jbb, cpi_jbb),
+        "specjbb.no_contention": (
+            replace(jbb, contention=ContentionModel(jvm_lock_demand=0.001)),
+            cpi_jbb,
+        ),
+        "specjbb.no_gc": (replace(jbb, gc_fraction_1p=0.0), cpi_jbb),
+    }
+    return {
+        label: [ThroughputModel(params, cpi).point(p).speedup for p in PROCS]
+        for label, (params, cpi) in variants.items()
+    }
+
+
+def test_ablation_scaling_terms(benchmark):
+    curves = benchmark.pedantic(_curves, iterations=1, rounds=1)
+    print()
+    print("speedup by variant " + "  ".join(f"p={p}" for p in PROCS))
+    for label, speedups in curves.items():
+        print(f"{label:22} " + "  ".join(f"{s:5.2f}" for s in speedups))
+    s = {label: dict(zip(PROCS, v)) for label, v in curves.items()}
+    # Super-linearity requires the falling path length.
+    assert s["ecperf.full"][8] > 8.0
+    assert s["ecperf.flat_path"][8] < 8.0
+    # The post-peak decline requires kernel contention.
+    assert s["ecperf.full"][15] < max(s["ecperf.full"].values())
+    assert s["ecperf.no_kernel"][15] >= s["ecperf.no_kernel"][12] - 0.05
+    # Leveling off requires contention.
+    assert s["specjbb.no_contention"][15] > s["specjbb.full"][15] + 1.0
+    # GC removal is a small, uniform lift.
+    assert all(
+        s["specjbb.no_gc"][p] >= s["specjbb.full"][p] - 1e-9 for p in PROCS
+    )

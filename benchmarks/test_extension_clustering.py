@@ -1,0 +1,48 @@
+"""Extension: does clustering the application server help?
+
+Section 2.5 notes the commercial server supports clustering but the
+paper measures a single instance.  The model answers the natural
+question: on the 15-processor E6000, would k JVM instances have scaled
+better?  Splitting sidesteps JVM/pool serialization (and gives each
+instance its own collector) at the cost of bean-cache interference —
+so the answer flips with scale, workload and k.
+"""
+
+from bench_support import BENCH_SIM
+
+from repro.figures.common import measured_cpi_fn
+from repro.perfmodel import WorkloadScalingParams
+from repro.perfmodel.cluster import compare_clusterings
+
+INSTANCE_COUNTS = [1, 2, 3]
+PROCS = [6, 15]
+
+
+def _study() -> dict:
+    out = {}
+    for name, params in (
+        ("specjbb", WorkloadScalingParams.specjbb_default()),
+        ("ecperf", WorkloadScalingParams.ecperf_default()),
+    ):
+        cpi = measured_cpi_fn(name, BENCH_SIM)
+        out[name] = {
+            p: compare_clusterings(params, cpi, p, INSTANCE_COUNTS) for p in PROCS
+        }
+    return out
+
+
+def test_extension_clustering(benchmark):
+    results = benchmark.pedantic(_study, iterations=1, rounds=1)
+    print()
+    print("speedup by (workload, procs, instances):")
+    print("workload  procs  " + "  ".join(f"k={k}" for k in INSTANCE_COUNTS))
+    for name, by_procs in results.items():
+        for p, by_k in by_procs.items():
+            cells = "  ".join(f"{by_k[k]:4.2f}" for k in INSTANCE_COUNTS)
+            print(f"{name:8}  {p:5d}  {cells}")
+    # At 15 processors, clustering relieves SPECjbb's serialization.
+    jbb15 = results["specjbb"][15]
+    assert jbb15[3] > jbb15[1]
+    # ECperf at 6 processors: interference loss outweighs the relief.
+    ec6 = results["ecperf"][6]
+    assert ec6[3] < ec6[1]

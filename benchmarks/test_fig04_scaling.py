@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig04 — throughput scaling on the E6000 (Figure 4)."""
+
+from repro.figures import fig04_scaling as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig04_scaling(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig05 — execution-mode breakdown (Figure 5)."""
+
+from repro.figures import fig05_modes as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig05_modes(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

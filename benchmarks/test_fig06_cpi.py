@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig06 — CPI breakdown vs processors (Figure 6)."""
+
+from repro.figures import fig06_cpi as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig06_cpi(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

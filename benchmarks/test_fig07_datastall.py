@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig07 — data-stall decomposition (Figure 7)."""
+
+from repro.figures import fig07_datastall as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig07_datastall(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig08 — cache-to-cache transfer ratio (Figure 8)."""
+
+from repro.figures import fig08_c2c_ratio as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig08_c2c_ratio(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig09 — GC effect on scaling (Figure 9)."""
+
+from repro.figures import fig09_gc_speedup as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig09_gc_speedup(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig10 — C2C rate over time with GC pauses (Figure 10)."""
+
+from repro.figures import fig10_c2c_timeline as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig10_c2c_timeline(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig11 — live memory vs scale factor (Figure 11)."""
+
+from repro.figures import fig11_memory_use as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig11_memory_use(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

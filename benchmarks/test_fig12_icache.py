@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig12 — instruction miss rate vs cache size (Figure 12)."""
+
+from repro.figures import fig12_icache as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig12_icache(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

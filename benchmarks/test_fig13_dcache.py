@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig13 — data miss rate vs cache size (Figure 13)."""
+
+from repro.figures import fig13_dcache as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig13_dcache(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig14 — C2C distribution vs %% of lines (Figure 14)."""
+
+from repro.figures import fig14_c2c_cdf as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig14_c2c_cdf(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig15 — C2C absolute footprint (Figure 15)."""
+
+from repro.figures import fig15_c2c_footprint as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig15_c2c_footprint(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,9 @@
+"""Benchmark: reproduce fig16 — shared-cache CMP study (Figure 16)."""
+
+from repro.figures import fig16_sharedcache as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_fig16_sharedcache(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,9 @@
+"""Benchmark: the paper's headline claims, end to end."""
+
+from repro.figures import claims as figure
+
+from bench_support import BENCH_SIM, run_figure_bench
+
+
+def test_paper_claims(benchmark):
+    run_figure_bench(benchmark, figure, BENCH_SIM)

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Cache design study: miss-rate-vs-size curves (Figures 12 and 13).
+
+Sweeps split instruction/data caches from 64 KB to 16 MB for ECperf
+and three SPECjbb scales, then plots both families of curves as text.
+The two design-relevant shapes: ECperf's instruction curve stays high
+through 256 KB (its middleware stack is simply bigger than SPECjbb's
+whole program), and SPECjbb's data curve grows with the warehouse
+count while ECperf's stays put.
+
+Run:  python examples/cache_design_study.py
+"""
+
+from repro.core.config import SimConfig
+from repro.core.report import ascii_plot
+from repro.figures import fig12_icache, fig13_dcache
+
+SIM = SimConfig(seed=1234, refs_per_proc=150_000, warmup_fraction=0.5)
+
+
+def main() -> None:
+    for module, label in ((fig12_icache, "instruction"), (fig13_dcache, "data")):
+        result = module.run(SIM)
+        print(result.render())
+        print()
+        print(f"{label} miss rate vs cache size (log x):")
+        print(ascii_plot(result.series, width=60, height=12, logx=True))
+        print()
+    print(
+        "Design note: a 256 KB instruction cache is comfortable for\n"
+        "SPECjbb yet far too small for ECperf's servlet+EJB+JDBC stack —\n"
+        "sizing middleware machines on SPECjbb alone underestimates the\n"
+        "instruction side (Section 5.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

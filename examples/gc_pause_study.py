@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""GC pause study: what stop-the-world collection does to the bus.
+
+Reproduces Figure 10's counter-intuitive result.  The authors first
+hypothesized the copying collector *caused* the high cache-to-cache
+transfer rates (it rips every live object out of other processors'
+caches).  Counting snoop copybacks in time bins shows the opposite:
+during each collection the transfer rate collapses to ~zero — one
+processor walks mostly-evicted from-space (memory fetches, not
+copybacks) and writes a private to-space while everyone else idles.
+
+Run:  python examples/gc_pause_study.py
+"""
+
+from repro.core.config import SimConfig
+from repro.figures import fig10_c2c_timeline
+
+SIM = SimConfig(seed=1234, refs_per_proc=150_000, warmup_fraction=0.5)
+
+
+def main() -> None:
+    result = fig10_c2c_timeline.run(SIM)
+    print(result.render())
+    print()
+    print("C2C transfer rate per bin (# = mutator, . = GC pause):")
+    peak = max(rate for _, rate in result.series["c2c_rate"]) or 1.0
+    for bin_id, in_gc, _, normalized in result.rows:
+        bar = "#" if not in_gc else "."
+        width = int(40 * normalized / peak)
+        print(f"  t={bin_id:3d} {'[GC]' if in_gc else '    '} {bar * max(width, 1)}")
+    gc_rates = [row[3] for row in result.rows if row[1]]
+    mut_rates = [row[3] for row in result.rows if not row[1]]
+    print()
+    print(
+        f"mean normalized rate: mutator {sum(mut_rates) / len(mut_rates):.2f}, "
+        f"during GC {sum(gc_rates) / len(gc_rates):.2f} — the collector "
+        "quiets the bus instead of flooding it (Section 4.5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

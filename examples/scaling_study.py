@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scaling study: speedup and where the time goes (Figures 4-6).
+
+Builds the throughput model on simulated CPI curves and prints the
+speedup sweep with the execution-mode breakdown next to it, so the
+three scaling stories are visible in one table per workload:
+
+- ECperf super-linear to 8 processors (object-cache interference
+  shortens the path), peaking near 12, then sliding as kernel
+  networking contention grows;
+- SPECjbb leveling off around 7 as lock/JVM contention idles
+  processors;
+- garbage collection's single-threaded collector visible but minor.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.core.config import SimConfig
+from repro.core.report import ascii_plot, render_table
+from repro.figures.common import PAPER_PROC_SWEEP, throughput_model
+
+SIM = SimConfig(seed=1234, refs_per_proc=120_000, warmup_fraction=0.5)
+
+
+def main() -> None:
+    series = {}
+    for name in ("ecperf", "specjbb"):
+        model = throughput_model(name, SIM)
+        rows = []
+        for pt in model.curve(PAPER_PROC_SWEEP):
+            md = pt.modes
+            rows.append(
+                (
+                    pt.n_procs,
+                    pt.speedup,
+                    pt.cpi,
+                    pt.path_relative,
+                    md.user,
+                    md.system,
+                    md.gc_idle + md.other_idle,
+                )
+            )
+        print(f"== {name} ==")
+        print(
+            render_table(
+                ["procs", "speedup", "CPI", "rel.path", "user", "system", "idle"],
+                rows,
+            )
+        )
+        print()
+        series[name] = [(r[0], r[1]) for r in rows]
+    print("speedup vs processors:")
+    print(ascii_plot(series, width=60, height=14))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Trace capture and replay: the Simics-style workflow.
+
+The paper's simulation methodology decouples workload execution from
+memory-system evaluation: capture a reference trace once, then replay
+it against as many cache designs as you like.  This example captures
+an ECperf trace to disk, reloads it, and replays it through three L2
+designs — demonstrating that results are bit-identical across the
+save/load boundary and that design sweeps don't pay generation cost
+twice.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.config import SimConfig, e6000_machine
+from repro.memsys import MemoryHierarchy, load_trace, save_trace
+from repro.memsys.config import CacheConfig
+from repro.rng import RngFactory
+from repro.units import kb, mb
+from repro.workloads import EcperfWorkload
+
+SIM = SimConfig(seed=1234, refs_per_proc=100_000, warmup_fraction=0.5)
+
+
+def main() -> None:
+    workload = EcperfWorkload(injection_rate=4)
+    bundle = workload.generate(4, SIM, RngFactory(seed=SIM.seed))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_trace(bundle, Path(tmp) / "ecperf_4p")
+        size_kb = path.stat().st_size / 1024
+        print(f"captured {bundle.total_refs} refs -> {path.name} ({size_kb:.0f} KB)")
+        reloaded = load_trace(path)
+    assert reloaded.per_cpu == bundle.per_cpu, "round trip must be exact"
+
+    print("\nreplaying one captured trace against three L2 designs:")
+    print("L2 design            data MPKI   c2c ratio")
+    designs = [
+        ("512 KB, 2-way", CacheConfig(size=kb(512), assoc=2, block=64, name="L2")),
+        ("1 MB, 4-way", CacheConfig(size=mb(1), assoc=4, block=64, name="L2")),
+        ("2 MB, 8-way", CacheConfig(size=mb(2), assoc=8, block=64, name="L2")),
+    ]
+    from dataclasses import replace
+
+    for label, l2 in designs:
+        machine = replace(e6000_machine(4), l2=l2)
+        hierarchy = MemoryHierarchy(machine)
+        hierarchy.run_trace(reloaded.per_cpu, warmup_fraction=0.5)
+        print(
+            f"{label:18}  {hierarchy.data_mpki():10.2f}  "
+            f"{hierarchy.c2c_ratio():10.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no `wheel` package, so the
+PEP 517 editable-install path (`pip install -e .`) cannot build the
+editable wheel.  This shim lets `pip install -e . --no-use-pep517`
+(and plain `python setup.py develop`) work; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,125 @@
+"""Communication-footprint distributions (Figures 14 and 15).
+
+Figure 14 plots the cumulative share of cache-to-cache transfers
+against the *percentage* of touched cache lines (sorted hottest
+first); Figure 15 plots the same against the *absolute* number of
+lines on a semi-log axis.  Both are projections of one structure: the
+per-line C2C counts the coherence simulator collects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+
+def cumulative_share(counts: list[int]) -> list[float]:
+    """Cumulative fraction of the total, hottest first.
+
+    >>> cumulative_share([6, 3, 1])
+    [0.6, 0.9, 1.0]
+    """
+    if any(c < 0 for c in counts):
+        raise AnalysisError("counts must be non-negative")
+    ordered = sorted(counts, reverse=True)
+    total = sum(ordered)
+    if total == 0:
+        return [0.0] * len(ordered)
+    shares = []
+    running = 0
+    for count in ordered:
+        running += count
+        shares.append(running / total)
+    return shares
+
+
+@dataclass(frozen=True)
+class CommunicationFootprint:
+    """Per-line C2C counts plus the touched-line universe."""
+
+    c2c_by_line: dict[int, int]
+    touched_lines: int
+
+    def __post_init__(self) -> None:
+        if self.touched_lines < len(self.c2c_by_line):
+            raise AnalysisError(
+                "touched_lines cannot be smaller than the number of "
+                "communicating lines"
+            )
+
+    @property
+    def total_transfers(self) -> int:
+        return sum(self.c2c_by_line.values())
+
+    @property
+    def communicating_lines(self) -> int:
+        return len(self.c2c_by_line)
+
+    @property
+    def communicating_fraction(self) -> float:
+        """Fraction of touched lines involved in any C2C transfer.
+
+        Figure 14: ~12% for SPECjbb, ~50% for ECperf.
+        """
+        if self.touched_lines == 0:
+            return 0.0
+        return self.communicating_lines / self.touched_lines
+
+    def hottest_line_share(self) -> float:
+        """Share of transfers from the single hottest line.
+
+        ~20% for SPECjbb (the company lock), ~14% for ECperf.
+        """
+        total = self.total_transfers
+        if total == 0:
+            return 0.0
+        return max(self.c2c_by_line.values()) / total
+
+    def share_from_top_fraction(self, fraction: float) -> float:
+        """Share of transfers from the hottest ``fraction`` of *touched* lines.
+
+        Figure 14's headline: the top 0.1% of touched lines carry 70%
+        (SPECjbb) / 56% (ECperf) of all transfers.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise AnalysisError("fraction must be in (0, 1]")
+        n_top = max(1, int(fraction * self.touched_lines))
+        counts = sorted(self.c2c_by_line.values(), reverse=True)
+        total = sum(counts)
+        if total == 0:
+            return 0.0
+        return sum(counts[:n_top]) / total
+
+    def cdf_percent_of_touched(self) -> list[tuple[float, float]]:
+        """Figure 14's curve: (percent of touched lines, cumulative share)."""
+        if self.touched_lines == 0:
+            return []
+        shares = cumulative_share(list(self.c2c_by_line.values()))
+        points = [
+            (100.0 * (i + 1) / self.touched_lines, share)
+            for i, share in enumerate(shares)
+        ]
+        # Lines with no transfers extend the x-axis to 100% at share 1.0.
+        if points and points[-1][0] < 100.0:
+            points.append((100.0, shares[-1] if shares else 0.0))
+        return points
+
+    def cdf_absolute_lines(self) -> list[tuple[int, float]]:
+        """Figure 15's curve: (number of lines, cumulative share)."""
+        shares = cumulative_share(list(self.c2c_by_line.values()))
+        return [(i + 1, share) for i, share in enumerate(shares)]
+
+    def lines_for_share(self, share: float) -> int:
+        """How many of the hottest lines carry ``share`` of the transfers.
+
+        The absolute communication footprint of Figure 15 — larger
+        for ECperf than SPECjbb at every share level.
+        """
+        if not 0.0 < share <= 1.0:
+            raise AnalysisError("share must be in (0, 1]")
+        cdf = cumulative_share(list(self.c2c_by_line.values()))
+        for i, cumulative in enumerate(cdf):
+            if cumulative >= share:
+                return i + 1
+        return len(cdf)

@@ -1,0 +1,64 @@
+"""Miss-rate-vs-cache-size curves (Figures 12, 13, 16)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.memsys.multisim import MissCurvePoint
+from repro.units import format_size
+
+
+@dataclass(frozen=True)
+class MissCurve:
+    """A labeled miss-rate curve over cache sizes."""
+
+    label: str
+    points: tuple[MissCurvePoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise AnalysisError(f"{self.label}: empty curve")
+        sizes = [p.size for p in self.points]
+        if sizes != sorted(sizes):
+            raise AnalysisError(f"{self.label}: points must be size-ordered")
+
+    @classmethod
+    def from_points(cls, label: str, points: list[MissCurvePoint]) -> "MissCurve":
+        return cls(label=label, points=tuple(sorted(points, key=lambda p: p.size)))
+
+    def mpki_at(self, size: int) -> float:
+        """MPKI at an exact simulated size."""
+        for point in self.points:
+            if point.size == size:
+                return point.mpki
+        raise AnalysisError(f"{self.label}: no point at size {size}")
+
+    def is_monotonic_nonincreasing(self, tolerance: float = 0.05) -> bool:
+        """True if the curve never rises by more than ``tolerance`` MPKI.
+
+        Larger caches cannot systematically miss more (modulo noise);
+        the property tests assert this on every generated curve.
+        """
+        for a, b in zip(self.points, self.points[1:]):
+            if b.mpki > a.mpki + tolerance:
+                return False
+        return True
+
+    def knee_size(self, threshold_mpki: float = 1.0) -> int | None:
+        """Smallest simulated size with MPKI below ``threshold_mpki``.
+
+        Figure 12's qualitative story is where each workload's curve
+        crosses below "negligible": SPECjbb's instruction curve knees
+        at a few hundred KB, ECperf's only near 1 MB.
+        """
+        for point in self.points:
+            if point.mpki < threshold_mpki:
+                return point.size
+        return None
+
+    def describe(self) -> str:
+        cells = ", ".join(
+            f"{format_size(p.size)}: {p.mpki:.2f}" for p in self.points
+        )
+        return f"{self.label} [misses/1000 instr] {cells}"

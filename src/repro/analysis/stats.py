@@ -1,0 +1,39 @@
+"""Small statistics helpers used by figures and tests."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+
+def mean_std(samples: list[float]) -> tuple[float, float]:
+    """Mean and sample standard deviation (std = 0 for n < 2)."""
+    if not samples:
+        raise AnalysisError("mean_std of empty sample set")
+    n = len(samples)
+    mu = sum(samples) / n
+    if n < 2:
+        return mu, 0.0
+    var = sum((x - mu) ** 2 for x in samples) / (n - 1)
+    return mu, math.sqrt(var)
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """(value - baseline) / baseline.
+
+    >>> relative_change(2.0, 2.5)
+    0.25
+    """
+    if baseline == 0:
+        raise AnalysisError("relative change from a zero baseline")
+    return (value - baseline) / baseline
+
+
+def geometric_mean(samples: list[float]) -> float:
+    """Geometric mean of positive samples."""
+    if not samples:
+        raise AnalysisError("geometric mean of empty sample set")
+    if any(x <= 0 for x in samples):
+        raise AnalysisError("geometric mean requires positive samples")
+    return math.exp(sum(math.log(x) for x in samples) / len(samples))

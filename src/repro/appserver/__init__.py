@@ -1,0 +1,27 @@
+"""Application-server model.
+
+The paper hosts ECperf on "a leading commercial Java-based application
+server" whose name licensing forbids disclosing.  The reproduction
+models the three performance features the paper calls out
+(Section 2.5): thread pooling, database connection pooling, and
+object-level caching of beans — plus the servlet and EJB code regions
+that give ECperf its large instruction footprint.
+"""
+
+from repro.appserver.beancache import BeanCache
+from repro.appserver.connpool import ConnectionPool
+from repro.appserver.container import ApplicationServer, CodeRegionSpec
+from repro.appserver.ejb import ECPERF_BEAN_REGIONS, ejb_container_regions
+from repro.appserver.servlet import servlet_regions
+from repro.appserver.threadpool import ThreadPool
+
+__all__ = [
+    "BeanCache",
+    "ConnectionPool",
+    "ApplicationServer",
+    "CodeRegionSpec",
+    "ECPERF_BEAN_REGIONS",
+    "ejb_container_regions",
+    "servlet_regions",
+    "ThreadPool",
+]

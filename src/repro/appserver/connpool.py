@@ -1,0 +1,78 @@
+"""Database connection pool.
+
+"The application server in ECperf shares its database connection pool
+between its many threads ... which could lead to contention in larger
+systems" (Section 4.1).  The pool is one of the two shared-resource
+bottlenecks behind the ~25% idle time on large processor sets
+(Figure 5).
+
+Like the lock model, two views: a token-accounting view for discrete
+use, and an analytic waiting-fraction estimate for the throughput
+model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, SimulationError
+
+
+class ConnectionPool:
+    """Fixed set of database connections shared by worker threads."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ConfigError("connection pool size must be positive")
+        self.size = size
+        self.in_use = 0
+        self.acquires = 0
+        self.blocked = 0
+
+    def try_acquire(self) -> bool:
+        """Take a connection; False means the caller must wait."""
+        self.acquires += 1
+        if self.in_use >= self.size:
+            self.blocked += 1
+            return False
+        self.in_use += 1
+        return True
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release on an empty connection pool")
+        self.in_use -= 1
+
+    @property
+    def block_ratio(self) -> float:
+        return self.blocked / self.acquires if self.acquires else 0.0
+
+    @staticmethod
+    def wait_fraction(
+        n_procs: int, pool_size: int, hold_fraction: float
+    ) -> float:
+        """Fraction of time threads wait for a connection.
+
+        Each of the p concurrently-running transaction threads holds a
+        connection for ``hold_fraction`` of its service time, so the
+        offered connection demand is ``p * hold_fraction`` connection-
+        equivalents.  Demand beyond ``pool_size`` translates into
+        waiting, with a smooth queueing onset below saturation.
+
+        >>> ConnectionPool.wait_fraction(2, 8, 0.5) < 0.05
+        True
+        >>> ConnectionPool.wait_fraction(15, 8, 0.8) > 0.2
+        True
+        """
+        if n_procs <= 0 or pool_size <= 0:
+            raise ConfigError("n_procs and pool_size must be positive")
+        if not 0.0 <= hold_fraction <= 1.0:
+            raise ConfigError("hold_fraction must be in [0, 1]")
+        demand = n_procs * hold_fraction
+        if demand <= 0:
+            return 0.0
+        # Saturation shortfall: demand the pool cannot serve.
+        served = min(demand, float(pool_size))
+        saturation_wait = (demand - served) / demand
+        # Queueing onset as utilization approaches the pool capacity.
+        rho = min(0.95, demand / pool_size)
+        onset = 0.05 * rho**4
+        return min(0.95, saturation_wait + onset * (1.0 - saturation_wait))

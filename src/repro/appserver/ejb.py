@@ -1,0 +1,64 @@
+"""EJB component and container code regions.
+
+ECperf's business rules are Enterprise Java Beans hosted in the
+application server's EJB container (Sections 2.3, 2.5).  Executing a
+BBop walks through container dispatch, transaction management,
+persistence, JDBC access and the domain beans themselves — a much
+larger body of hot code than SPECjbb's self-contained loop, which is
+why ECperf's instruction miss rate is far higher at intermediate
+cache sizes (Figure 12).
+
+Regions are *specs* (name, size, relative hotness); the workload
+layer assigns them addresses and emits fetch streams.
+"""
+
+from __future__ import annotations
+
+from repro.appserver.container import CodeRegionSpec
+
+
+def ejb_container_regions() -> list[CodeRegionSpec]:
+    """Hot code of the EJB container and its services."""
+    return [
+        CodeRegionSpec("container.dispatch", instructions=9_000, hotness=10.0),
+        CodeRegionSpec("container.txn_manager", instructions=7_000, hotness=8.0),
+        CodeRegionSpec("container.persistence", instructions=9_000, hotness=6.0),
+        CodeRegionSpec("container.security", instructions=6_000, hotness=3.0),
+        CodeRegionSpec("container.pooling", instructions=5_000, hotness=5.0),
+        CodeRegionSpec("jdbc.driver", instructions=10_000, hotness=6.0),
+        CodeRegionSpec("jndi.lookup", instructions=5_000, hotness=2.0),
+        CodeRegionSpec("rmi.marshalling", instructions=6_000, hotness=4.0),
+        CodeRegionSpec("xml.parser", instructions=8_000, hotness=2.5),
+        CodeRegionSpec("net.client", instructions=5_000, hotness=4.0),
+    ]
+
+
+#: The ECperf domain beans (Customer, Manufacturing, Supplier, Corporate).
+ECPERF_BEAN_REGIONS: dict[str, list[CodeRegionSpec]] = {
+    "customer": [
+        CodeRegionSpec("bean.order_entry", instructions=8_000, hotness=8.0),
+        CodeRegionSpec("bean.order_status", instructions=6_000, hotness=4.0),
+        CodeRegionSpec("bean.customer_session", instructions=5_000, hotness=5.0),
+    ],
+    "manufacturing": [
+        CodeRegionSpec("bean.workorder", instructions=7_000, hotness=7.0),
+        CodeRegionSpec("bean.largeorder", instructions=5_000, hotness=2.0),
+        CodeRegionSpec("bean.assembly", instructions=6_000, hotness=5.0),
+    ],
+    "supplier": [
+        CodeRegionSpec("bean.purchase_order", instructions=5_000, hotness=3.0),
+        CodeRegionSpec("bean.receiver", instructions=5_000, hotness=2.0),
+    ],
+    "corporate": [
+        CodeRegionSpec("bean.parts_catalog", instructions=5_000, hotness=3.0),
+        CodeRegionSpec("bean.discount_rules", instructions=4_000, hotness=2.0),
+    ],
+}
+
+
+def all_bean_regions() -> list[CodeRegionSpec]:
+    """Every domain bean region, flattened."""
+    regions: list[CodeRegionSpec] = []
+    for domain_regions in ECPERF_BEAN_REGIONS.values():
+        regions.extend(domain_regions)
+    return regions

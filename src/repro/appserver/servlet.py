@@ -1,0 +1,23 @@
+"""Servlet-engine code regions.
+
+ECperf's presentation logic is implemented with Java Servlets hosted
+in the application server's web container (Section 2.4).  Servlet
+dispatch, session handling and response generation add to the middle
+tier's instruction footprint on every driver interaction.
+"""
+
+from __future__ import annotations
+
+from repro.appserver.container import CodeRegionSpec
+
+
+def servlet_regions() -> list[CodeRegionSpec]:
+    """Hot code of the servlet engine and ECperf's servlets."""
+    return [
+        CodeRegionSpec("servlet.http_parse", instructions=5_000, hotness=7.0),
+        CodeRegionSpec("servlet.dispatch", instructions=5_000, hotness=7.0),
+        CodeRegionSpec("servlet.session", instructions=5_000, hotness=5.0),
+        CodeRegionSpec("servlet.orders_page", instructions=6_000, hotness=5.0),
+        CodeRegionSpec("servlet.mfg_page", instructions=5_000, hotness=4.0),
+        CodeRegionSpec("servlet.response_gen", instructions=5_000, hotness=6.0),
+    ]

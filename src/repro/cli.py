@@ -1,0 +1,114 @@
+"""Command-line interface: ``jmmw`` (Java Middleware Memory Workloads).
+
+Subcommands::
+
+    jmmw figures [IDS...] [--quick]   reproduce paper figures (default all)
+    jmmw characterize WORKLOAD [-p N] one-call workload characterization
+    jmmw info                          inventory: machine, workloads, figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.core.config import E6000, SimConfig
+
+FIGURE_MODULES = [
+    "fig04_scaling",
+    "fig05_modes",
+    "fig06_cpi",
+    "fig07_datastall",
+    "fig08_c2c_ratio",
+    "fig09_gc_speedup",
+    "fig10_c2c_timeline",
+    "fig11_memory_use",
+    "fig12_icache",
+    "fig13_dcache",
+    "fig14_c2c_cdf",
+    "fig15_c2c_footprint",
+    "fig16_sharedcache",
+    "claims",
+]
+
+
+def _figure_ids() -> dict[str, str]:
+    return {name.split("_", 1)[0]: name for name in FIGURE_MODULES}
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Reproduce the requested figures; non-zero exit on check failures."""
+    from repro.figures.common import FIGURE_SIM, QUICK_SIM
+
+    sim = QUICK_SIM if args.quick else FIGURE_SIM
+    ids = _figure_ids()
+    wanted = args.ids or sorted(ids)
+    failures = 0
+    for fig_id in wanted:
+        if fig_id not in ids:
+            print(f"unknown figure {fig_id!r}; known: {', '.join(sorted(ids))}")
+            return 2
+        module = importlib.import_module(f"repro.figures.{ids[fig_id]}")
+        result = module.run(sim)
+        print(result.render())
+        for claim, ok in module.checks(result):
+            print(f'  [{"ok" if ok else "FAIL"}] {claim}')
+            failures += 0 if ok else 1
+        print()
+    return 1 if failures else 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    """Print the headline characterization for one workload."""
+    from repro.core.characterize import characterize
+
+    sim = None
+    if args.quick:
+        sim = SimConfig(seed=1234, refs_per_proc=80_000, warmup_fraction=0.5)
+    report = characterize(args.workload, n_procs=args.procs, sim=sim)
+    print(report.render())
+    return 0
+
+
+def cmd_info(_: argparse.Namespace) -> int:
+    """Print the modeled system inventory."""
+    print("Reproduction of 'Memory System Behavior of Java-Based Middleware'")
+    print("(Karlsson, Moore, Hagersten & Wood, HPCA 2003)\n")
+    print(f"modeled machine: {E6000.describe()}")
+    print("workloads: specjbb (SPECjbb2000), ecperf (ECperf middle tier)")
+    print("figures:", ", ".join(sorted(_figure_ids())))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``jmmw`` argument parser."""
+    parser = argparse.ArgumentParser(prog="jmmw", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="reproduce paper figures")
+    figures.add_argument("ids", nargs="*", help="figure ids, e.g. fig08 fig16")
+    figures.add_argument(
+        "--quick", action="store_true", help="reduced simulation effort"
+    )
+    figures.set_defaults(fn=cmd_figures)
+
+    character = sub.add_parser("characterize", help="characterize one workload")
+    character.add_argument("workload", choices=["specjbb", "ecperf"])
+    character.add_argument("-p", "--procs", type=int, default=8)
+    character.add_argument("--quick", action="store_true")
+    character.set_defaults(fn=cmd_characterize)
+
+    info = sub.add_parser("info", help="show the modeled system inventory")
+    info.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Characterization framework core.
+
+Configuration objects, metric containers, the multi-run experiment
+runner (Alameldeen–Wood variability methodology), text reporting, and
+the high-level characterization API used by the figure drivers.
+"""
+
+from repro.core.config import (
+    E6000,
+    CacheConfig,
+    MachineConfig,
+    SimConfig,
+    cmp_machine,
+    e6000_machine,
+)
+from repro.core.experiment import Experiment, MultiRunResult, run_repeated
+from repro.core.metrics import CpiBreakdown, DataStallBreakdown, MissCounters, mpki
+from repro.core.sweep import SweepResult, sweep
+
+__all__ = [
+    "E6000",
+    "CacheConfig",
+    "MachineConfig",
+    "SimConfig",
+    "cmp_machine",
+    "e6000_machine",
+    "Experiment",
+    "MultiRunResult",
+    "run_repeated",
+    "CpiBreakdown",
+    "DataStallBreakdown",
+    "MissCounters",
+    "mpki",
+    "SweepResult",
+    "sweep",
+]

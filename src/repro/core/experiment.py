@@ -1,0 +1,116 @@
+"""Multi-run experiment support (variability methodology).
+
+The paper uses the methodology of Alameldeen & Wood (HPCA 2003) to
+account for the inherent run-to-run variability of multithreaded
+commercial workloads: each simulated configuration is run several
+times with small perturbations, and results are reported as means with
+standard deviations (the paper's error bars).
+
+Here a *run* is a callable taking an :class:`~repro.rng.RngFactory`
+(already perturbed with a distinct ``run_index``) and returning either
+a float or a mapping of named floats.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import AnalysisError
+from repro.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class MultiRunResult:
+    """Mean and standard deviation of one measured quantity."""
+
+    name: str
+    samples: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise AnalysisError(f"{self.name}: no samples")
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single run)."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    @property
+    def error_bar(self) -> tuple[float, float]:
+        """(mean - std, mean + std), the paper's error-bar convention."""
+        return self.mean - self.std, self.mean + self.std
+
+    def __str__(self) -> str:
+        if self.n == 1:
+            return f"{self.name}={self.mean:.4g}"
+        return f"{self.name}={self.mean:.4g} ± {self.std:.2g} (n={self.n})"
+
+
+RunFn = Callable[[RngFactory], Mapping[str, float] | float]
+
+
+def run_repeated(
+    fn: RunFn, n_runs: int, seed: int = 1234, name: str = "value"
+) -> dict[str, MultiRunResult]:
+    """Run ``fn`` ``n_runs`` times with perturbed RNG factories.
+
+    Returns one :class:`MultiRunResult` per named quantity.  A run
+    returning a bare float is recorded under ``name``.
+    """
+    if n_runs <= 0:
+        raise AnalysisError("n_runs must be positive")
+    collected: dict[str, list[float]] = {}
+    expected_keys: set[str] | None = None
+    for run_index in range(n_runs):
+        result = fn(RngFactory(seed=seed, run_index=run_index))
+        if isinstance(result, Mapping):
+            items = list(result.items())
+        else:
+            items = [(name, float(result))]
+        keys = {key for key, _ in items}
+        if expected_keys is None:
+            expected_keys = keys
+        elif keys != expected_keys:
+            raise AnalysisError("runs reported inconsistent sets of quantities")
+        for key, value in items:
+            collected.setdefault(key, []).append(float(value))
+    return {
+        key: MultiRunResult(name=key, samples=tuple(values))
+        for key, values in collected.items()
+    }
+
+
+@dataclass
+class Experiment:
+    """A named, repeatable measurement.
+
+    Thin wrapper tying a run function to its repetition policy, so
+    figure drivers can declare "this point is measured with n runs"
+    once and reuse it.
+    """
+
+    name: str
+    fn: RunFn
+    n_runs: int = 1
+    seed: int = 1234
+    results: dict[str, MultiRunResult] = field(default_factory=dict)
+
+    def run(self) -> dict[str, MultiRunResult]:
+        self.results = run_repeated(
+            self.fn, n_runs=self.n_runs, seed=self.seed, name=self.name
+        )
+        return self.results

@@ -1,0 +1,138 @@
+"""Metric containers shared across the characterization framework.
+
+These mirror the quantities the paper reports: misses per 1000
+instructions (the unit of Figures 12, 13 and 16), the CPI breakdown of
+Figure 6 (instruction stall / data stall / other), and the data-stall
+decomposition of Figure 7 (store buffer, RAW hazards, L2 hits,
+cache-to-cache transfers, memory, other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.memsys.misses import MissKind
+
+
+def mpki(misses: int, instructions: int) -> float:
+    """Misses per 1000 instructions."""
+    if instructions < 0 or misses < 0:
+        raise AnalysisError("misses and instructions must be non-negative")
+    return 1000.0 * misses / instructions if instructions else 0.0
+
+
+@dataclass
+class MissCounters:
+    """Aggregated miss counts for one measurement interval."""
+
+    instructions: int = 0
+    l1i_misses: int = 0
+    l1d_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    c2c_fills: int = 0
+    mem_fills: int = 0
+    upgrades: int = 0
+    misses_by_kind: dict[MissKind, int] = field(
+        default_factory=lambda: {k: 0 for k in MissKind}
+    )
+
+    @property
+    def c2c_ratio(self) -> float:
+        """Fraction of L2 misses satisfied by another cache (Figure 8)."""
+        return self.c2c_fills / self.l2_misses if self.l2_misses else 0.0
+
+    @property
+    def l1i_mpki(self) -> float:
+        return mpki(self.l1i_misses, self.instructions)
+
+    @property
+    def l1d_mpki(self) -> float:
+        return mpki(self.l1d_misses, self.instructions)
+
+    @property
+    def l2_mpki(self) -> float:
+        return mpki(self.l2_misses, self.instructions)
+
+
+@dataclass(frozen=True)
+class DataStallBreakdown:
+    """Cycles-per-instruction of each data-stall component (Figure 7).
+
+    Components follow the paper's decomposition: store-buffer-full
+    stalls, read-after-write hazards, L1-miss/L2-hit time, L2 misses
+    split into cache-to-cache transfers and memory fetches, and a
+    residual ("other").  All values are in cycles per instruction.
+    """
+
+    store_buffer: float = 0.0
+    raw_hazard: float = 0.0
+    l2_hit: float = 0.0
+    cache_to_cache: float = 0.0
+    memory: float = 0.0
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.store_buffer
+            + self.raw_hazard
+            + self.l2_hit
+            + self.cache_to_cache
+            + self.memory
+            + self.other
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Each component as a fraction of total data stall time."""
+        total = self.total
+        if total <= 0:
+            return {name: 0.0 for name in self.component_names()}
+        return {
+            "store_buffer": self.store_buffer / total,
+            "raw_hazard": self.raw_hazard / total,
+            "l2_hit": self.l2_hit / total,
+            "cache_to_cache": self.cache_to_cache / total,
+            "memory": self.memory / total,
+            "other": self.other / total,
+        }
+
+    @staticmethod
+    def component_names() -> list[str]:
+        return [
+            "store_buffer",
+            "raw_hazard",
+            "l2_hit",
+            "cache_to_cache",
+            "memory",
+            "other",
+        ]
+
+
+@dataclass(frozen=True)
+class CpiBreakdown:
+    """Figure 6's CPI decomposition.
+
+    ``other`` covers instruction execution and non-memory stalls; the
+    paper's in-order UltraSPARC II keeps it between 1.3 and 1.8.
+    """
+
+    instruction_stall: float
+    data_stall: DataStallBreakdown
+    other: float
+
+    @property
+    def total(self) -> float:
+        return self.instruction_stall + self.data_stall.total + self.other
+
+    @property
+    def data_stall_fraction(self) -> float:
+        """Data stall as a fraction of total CPI (15-35% in the paper)."""
+        total = self.total
+        return self.data_stall.total / total if total else 0.0
+
+    @property
+    def instruction_stall_fraction(self) -> float:
+        total = self.total
+        return self.instruction_stall / total if total else 0.0

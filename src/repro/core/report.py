@@ -1,0 +1,88 @@
+"""Text rendering: tables and ASCII plots for figure reproductions."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table.
+
+    Floats are shown with 3 significant digits; everything else via
+    ``str``.
+    """
+    if not columns:
+        raise AnalysisError("table needs at least one column")
+
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.001:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(columns):
+            raise AnalysisError(
+                f"row width {len(row)} does not match {len(columns)} columns"
+            )
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """Rough multi-series scatter plot in text.
+
+    Each series gets a marker character; overlapping points show the
+    later series' marker.  Good enough to eyeball the curve shapes the
+    paper's figures carry.
+    """
+    markers = "*o+x#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise AnalysisError("nothing to plot")
+    xs = [math.log10(x) if logx else x for x, _ in points if not logx or x > 0]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            if logx:
+                if x <= 0:
+                    continue
+                x = math.log10(x)
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    axis = f"x: [{10**x_lo:.3g}, {10**x_hi:.3g}] (log)" if logx else (
+        f"x: [{x_lo:.3g}, {x_hi:.3g}]"
+    )
+    return "\n".join(lines + [f"{axis}  y: [{y_lo:.3g}, {y_hi:.3g}]", legend])

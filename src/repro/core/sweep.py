@@ -1,0 +1,68 @@
+"""Parameter-sweep helper.
+
+Design studies ask "how does metric M move as knob K varies?"; this
+helper runs the measurement at each knob value and returns a labeled
+curve with convenience accessors, so benches and examples don't
+hand-roll the same loop and table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.report import render_table
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One swept metric: (knob value, metric value) pairs."""
+
+    knob: str
+    metric: str
+    points: tuple[tuple[object, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise AnalysisError(f"sweep over {self.knob} produced no points")
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.points]
+
+    def at(self, knob_value: object) -> float:
+        for k, v in self.points:
+            if k == knob_value:
+                return v
+        raise AnalysisError(f"no sweep point at {self.knob}={knob_value!r}")
+
+    def argbest(self, maximize: bool = False) -> object:
+        """Knob value with the smallest (or largest) metric."""
+        chooser = max if maximize else min
+        return chooser(self.points, key=lambda kv: kv[1])[0]
+
+    def is_monotonic(self, increasing: bool, tolerance: float = 0.0) -> bool:
+        values = self.values()
+        if increasing:
+            return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+        return all(b <= a + tolerance for a, b in zip(values, values[1:]))
+
+    def render(self) -> str:
+        return render_table([self.knob, self.metric], list(self.points))
+
+
+def sweep(
+    knob: str,
+    values: Sequence[object],
+    measure: Callable[[object], float],
+    metric: str = "value",
+) -> SweepResult:
+    """Measure ``measure(v)`` at each knob value.
+
+    >>> sweep("n", [1, 2, 3], lambda n: float(n * n)).values()
+    [1.0, 4.0, 9.0]
+    """
+    if not values:
+        raise AnalysisError("sweep needs at least one knob value")
+    points = tuple((v, float(measure(v))) for v in values)
+    return SweepResult(knob=knob, metric=metric, points=points)

@@ -1,0 +1,14 @@
+"""Processor timing model.
+
+The paper measures CPI with the UltraSPARC II's integrated counters
+and decomposes stalls by multiplying event frequencies with published
+access times (Sections 4.2, 4.3).  This package does the same over
+the simulator's counters: :mod:`repro.cpu.inorder` produces the CPI
+breakdown of Figure 6, :mod:`repro.cpu.stall` the data-stall
+decomposition of Figure 7.
+"""
+
+from repro.cpu.inorder import InOrderCpuModel, UltraSparcIIParams
+from repro.cpu.stall import decompose_data_stall
+
+__all__ = ["InOrderCpuModel", "UltraSparcIIParams", "decompose_data_stall"]

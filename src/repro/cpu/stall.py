@@ -1,0 +1,56 @@
+"""Data-stall decomposition (Figure 7).
+
+Components, following the paper:
+
+- **store buffer** — cycles stalled on a full store buffer (1-2% of
+  execution time);
+- **RAW hazard** — loads issued too close behind stores to the same
+  location (~1%);
+- **L2 hit** — L1 data misses satisfied by the L2;
+- **cache-to-cache** — L2 misses supplied by another processor's
+  cache (40% more expensive than memory on the E6000);
+- **memory** — L2 misses satisfied by main memory;
+- **other** — residual (TLB fills and minor effects); the paper notes
+  its decomposition "does not always exactly sum to one" for the same
+  reason.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import DataStallBreakdown
+from repro.errors import AnalysisError
+from repro.memsys.latency import LatencyBook
+
+
+def decompose_data_stall(
+    instructions: int,
+    l1d_misses: int,
+    l2_hits_data: int,
+    c2c_fills: int,
+    mem_fills: int,
+    latencies: LatencyBook,
+    store_buffer_cpi: float = 0.0,
+    raw_hazard_cpi: float = 0.0,
+    tlb_miss_cpi: float = 0.0,
+) -> DataStallBreakdown:
+    """Build the per-instruction data-stall breakdown from event counts.
+
+    ``l2_hits_data`` are L1 data misses that hit in the L2;
+    ``c2c_fills``/``mem_fills`` are data-reference L2 misses by fill
+    source.  Store-buffer, RAW and TLB terms are passed in as CPI
+    contributions (they come from their own models, not the cache
+    simulation).
+    """
+    if instructions <= 0:
+        raise AnalysisError("instructions must be positive")
+    if min(l1d_misses, l2_hits_data, c2c_fills, mem_fills) < 0:
+        raise AnalysisError("event counts must be non-negative")
+    per_instr = 1.0 / instructions
+    return DataStallBreakdown(
+        store_buffer=store_buffer_cpi,
+        raw_hazard=raw_hazard_cpi,
+        l2_hit=l2_hits_data * latencies.l2_hit * per_instr,
+        cache_to_cache=c2c_fills * latencies.cache_to_cache * per_instr,
+        memory=mem_fills * latencies.memory * per_instr,
+        other=tlb_miss_cpi,
+    )

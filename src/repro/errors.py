@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Sub-types distinguish
+configuration mistakes (caller bugs) from simulation-state violations
+(library bugs or corrupted inputs).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent.
+
+    Raised during construction of config objects and simulators, never
+    mid-simulation: every config is validated eagerly so that a bad
+    parameter fails before any cycles are spent.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent internal state.
+
+    Seeing this exception indicates a bug in the library (e.g. a
+    coherence invariant violation), not a user mistake.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload was asked to do something outside its model.
+
+    Examples: requesting more processors than the workload has threads
+    for, or a scale factor outside the supported range.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot interpret."""

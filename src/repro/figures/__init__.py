@@ -1,0 +1,10 @@
+"""One driver per paper figure.
+
+Each module exposes ``run(sim=None) -> FigureResult``; the
+``benchmarks/`` tree wraps these under pytest-benchmark and prints the
+paper-vs-measured rows recorded in EXPERIMENTS.md.
+"""
+
+from repro.figures.common import FigureResult
+
+__all__ = ["FigureResult"]

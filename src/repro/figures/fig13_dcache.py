@@ -1,0 +1,59 @@
+"""Figure 13: data-cache miss rate vs. cache size.
+
+Paper: SPECjbb's data miss rate grows with the warehouse count (its
+live data is linear in warehouses), rising by as much as ~30% from 1
+to 25 warehouses at large caches; ECperf's data set is small, with a
+miss rate at or below the smallest SPECjbb configuration; all
+configurations drop under ~2 misses/1000 instructions at 1 MB.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimConfig
+from repro.figures.common import FIGURE_SIM, FigureResult
+from repro.figures.fig12_icache import curves
+
+
+def run(sim: SimConfig | None = None) -> FigureResult:
+    """Reproduce Figure 13 (data side)."""
+    sim = sim if sim is not None else FIGURE_SIM
+    by_label = curves(sim, kind="data")
+    rows = []
+    series = {}
+    for label, curve in by_label.items():
+        for point in curve.points:
+            rows.append((label, point.size // 1024, point.mpki))
+        series[label] = [(p.size, p.mpki) for p in curve.points]
+    return FigureResult(
+        figure_id="fig13",
+        title="Data cache miss rate vs size (uniprocessor, 4-way, 64 B)",
+        columns=["workload", "size KB", "misses/1000 instr"],
+        rows=rows,
+        paper_claim=(
+            "SPECjbb-25 > SPECjbb-10 > SPECjbb-1 ~ ECperf; < 2 MPKI at 1 MB; "
+            "jbb grows with warehouses at large caches"
+        ),
+        series=series,
+    )
+
+
+def checks(result: FigureResult) -> list[tuple[str, bool]]:
+    """Shape assertions against the paper's claims."""
+
+    def mpki(label, size_kb):
+        for row in result.rows:
+            if row[0] == label and row[1] == size_kb:
+                return row[2]
+        raise KeyError((label, size_kb))
+
+    return [
+        ("specjbb miss rate grows with warehouses @1MB",
+         mpki("specjbb-25", 1024) > mpki("specjbb-10", 1024) >= mpki("specjbb-1", 1024) * 0.95),
+        ("ecperf at or below specjbb-1 @1MB",
+         mpki("ecperf", 1024) <= mpki("specjbb-1", 1024) * 1.3),
+        ("all moderate at 1 MB (< 5 MPKI)",
+         all(mpki(lbl, 1024) < 5.0
+             for lbl in ("ecperf", "specjbb-1", "specjbb-10", "specjbb-25"))),
+        ("L1-range miss rates 10-60 MPKI @64KB",
+         10.0 <= mpki("specjbb-25", 64) <= 60.0),
+    ]

@@ -1,0 +1,32 @@
+"""JVM model: heap, generational GC, object trees, locks, threads.
+
+Models the HotSpot 1.3.1 configuration the paper runs: a 1424 MB heap
+with a 400 MB new generation and a single-threaded, stop-the-world
+generational copying collector.  The GC model drives three results:
+
+- Figure 9 — speedup with GC time factored out (the collector is a
+  serial fraction);
+- Figure 10 — the cache-to-cache transfer rate collapsing to ~zero
+  during collections (the collector's copying traffic is private);
+- Figure 11 — live memory after GC vs. scale factor, including the
+  drop past 30 warehouses when old-generation compaction begins.
+"""
+
+from repro.jvm.gc import GcEvent, GenerationalCollector
+from repro.jvm.heap import GenerationalHeap, HeapLayout
+from repro.jvm.locks import LockSite, contended_wait_fraction
+from repro.jvm.objects import ObjectLayout, ObjectTree
+from repro.jvm.threads import JavaThread, ThreadRegistry
+
+__all__ = [
+    "GcEvent",
+    "GenerationalCollector",
+    "GenerationalHeap",
+    "HeapLayout",
+    "LockSite",
+    "contended_wait_fraction",
+    "ObjectLayout",
+    "ObjectTree",
+    "JavaThread",
+    "ThreadRegistry",
+]

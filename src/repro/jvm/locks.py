@@ -1,0 +1,78 @@
+"""Lock sites and contention.
+
+Both benchmarks serialize on a handful of hot locks: SPECjbb's object
+trees "are protected by locks", and ECperf's application server shares
+a database connection pool among its threads (Section 4.1).  Those hot
+lock lines are also where cache-to-cache transfers concentrate: the
+single hottest line accounts for 20% (SPECjbb) / 14% (ECperf) of all
+transfers (Section 5.2).
+
+Two views are provided:
+
+- :class:`LockSite` — the *address* view: a lock is a cache line that
+  every acquire/release reads and writes, generating the migratory
+  sharing the coherence simulator turns into snoop copybacks;
+- :func:`contended_wait_fraction` — the *time* view: a closed-form
+  estimate of the idle fraction lock contention induces, used by the
+  throughput model behind Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.memsys.block import LOAD, STORE, encode_ref
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock word at a fixed address."""
+
+    addr: int
+    name: str = "lock"
+
+    def acquire_refs(self) -> list[int]:
+        """References issued by an acquire: read-test then write."""
+        return [encode_ref(self.addr, LOAD), encode_ref(self.addr, STORE)]
+
+    def release_refs(self) -> list[int]:
+        """References issued by a release: a single store."""
+        return [encode_ref(self.addr, STORE)]
+
+
+def contended_wait_fraction(n_procs: int, lock_demand: float) -> float:
+    """Idle fraction due to one lock with per-processor demand ``lock_demand``.
+
+    ``lock_demand`` is the fraction of a processor's busy time spent
+    holding the lock.  The lock serializes: aggregate demand beyond
+    one lock-holder's worth of time cannot be served.
+
+    Model: p processors each want to be running 100% of the time, of
+    which a fraction q needs the lock.  The lock can be held by one
+    processor at a time, so aggregate useful throughput is capped at
+    ``min(p, 1/q)`` processor-equivalents; the shortfall is idle time.
+    Below saturation a light queueing term ``q^2 (p-1) / (1 - q(p-1))``
+    (M/M/1-style waiting with utilization q(p-1)) keeps the curve
+    smooth instead of piecewise linear.
+
+    >>> contended_wait_fraction(1, 0.1)
+    0.0
+    >>> 0.0 < contended_wait_fraction(15, 0.08) < 1.0
+    True
+    """
+    if n_procs <= 0:
+        raise ConfigError("n_procs must be positive")
+    if not 0.0 <= lock_demand < 1.0:
+        raise ConfigError("lock_demand must be in [0, 1)")
+    if n_procs == 1 or lock_demand == 0.0:
+        return 0.0
+    q = lock_demand
+    p = n_procs
+    # Hard serialization bound.
+    cap = min(p, 1.0 / q)
+    saturation_idle = max(0.0, 1.0 - cap / p)
+    # Light-contention queueing below the bound.
+    rho = min(0.95, q * (p - 1))
+    queueing_idle = q * rho / (1.0 - rho)
+    return min(0.95, saturation_idle + queueing_idle * (1.0 - saturation_idle))

@@ -1,0 +1,148 @@
+"""Java object layout and object trees.
+
+SPECjbb stores its emulated database "in memory as trees of Java
+objects" (Section 2.1).  The reproduction never materializes those
+trees — at 25 warehouses they would be ~400 MB — it computes node
+*addresses* arithmetically from (tree base, level, index), so a
+workload can emit a realistic B-tree descent's reference stream with
+a few integer operations per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ObjectLayout:
+    """Size model for Java objects on a 64-bit SPARC HotSpot.
+
+    ``header`` covers the mark word and class pointer; instance sizes
+    are rounded up to ``alignment``.
+    """
+
+    header: int = 16
+    reference_size: int = 8
+    alignment: int = 8
+
+    def instance_size(self, n_ref_fields: int, n_scalar_bytes: int = 0) -> int:
+        """Aligned size of an instance with the given fields."""
+        if n_ref_fields < 0 or n_scalar_bytes < 0:
+            raise ConfigError("field counts must be non-negative")
+        raw = self.header + n_ref_fields * self.reference_size + n_scalar_bytes
+        return (raw + self.alignment - 1) // self.alignment * self.alignment
+
+
+#: Default layout used throughout the workload models.
+DEFAULT_LAYOUT = ObjectLayout()
+
+
+@dataclass(frozen=True)
+class ObjectTree:
+    """A B-tree of Java objects, addressed arithmetically.
+
+    Nodes at each level are laid out contiguously from ``base``: level
+    0 is the root, level ``depth-1`` the leaves; level L holds
+    ``fanout**L`` nodes of ``node_size`` bytes.
+
+    >>> t = ObjectTree(base=0x1000, fanout=4, depth=3, node_size=128)
+    >>> t.n_nodes
+    21
+    >>> len(t.path_to_leaf(5))
+    3
+    """
+
+    base: int
+    fanout: int
+    depth: int
+    node_size: int
+    name: str = "tree"
+
+    def __post_init__(self) -> None:
+        if self.fanout < 2:
+            raise ConfigError(f"{self.name}: fanout must be >= 2")
+        if self.depth < 1:
+            raise ConfigError(f"{self.name}: depth must be >= 1")
+        if self.node_size <= 0 or self.node_size % 8 != 0:
+            raise ConfigError(f"{self.name}: node_size must be positive, 8-aligned")
+        if self.base < 0:
+            raise ConfigError(f"{self.name}: base must be non-negative")
+
+    @property
+    def n_leaves(self) -> int:
+        return self.fanout ** (self.depth - 1)
+
+    @property
+    def n_nodes(self) -> int:
+        return (self.fanout**self.depth - 1) // (self.fanout - 1)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_nodes * self.node_size
+
+    def level_offset(self, level: int) -> int:
+        """Byte offset of the first node at ``level`` (root = level 0)."""
+        if not 0 <= level < self.depth:
+            raise ConfigError(f"{self.name}: level {level} out of range")
+        nodes_above = (self.fanout**level - 1) // (self.fanout - 1)
+        return nodes_above * self.node_size
+
+    def node_addr(self, level: int, index: int) -> int:
+        """Address of node ``index`` at ``level``."""
+        if not 0 <= index < self.fanout**level:
+            raise ConfigError(
+                f"{self.name}: node index {index} out of range at level {level}"
+            )
+        return self.base + self.level_offset(level) + index * self.node_size
+
+    def path_to_leaf(self, leaf_index: int) -> list[int]:
+        """Node addresses visited descending from the root to a leaf."""
+        if not 0 <= leaf_index < self.n_leaves:
+            raise ConfigError(f"{self.name}: leaf index {leaf_index} out of range")
+        path = []
+        index = leaf_index
+        for level in range(self.depth - 1, -1, -1):
+            path.append(self.node_addr(level, index))
+            index //= self.fanout
+        path.reverse()
+        return path
+
+    def random_leaf(self, rng: np.random.Generator, skew: float = 0.0) -> int:
+        """Pick a leaf index, optionally skewed toward low indices.
+
+        ``skew`` = 0 is uniform; larger values concentrate accesses —
+        transaction workloads touch recent orders far more than old
+        ones.  Uses a power-law transform of a uniform draw.
+        """
+        u = float(rng.random())
+        if skew > 0.0:
+            u = u ** (1.0 + skew)
+        return min(int(u * self.n_leaves), self.n_leaves - 1)
+
+    def hot_leaf(
+        self,
+        rng: np.random.Generator,
+        hot_fraction: float = 0.04,
+        hot_prob: float = 0.9,
+    ) -> int:
+        """Pick a leaf from a hot working set with occasional cold spills.
+
+        With probability ``hot_prob`` the leaf comes from the first
+        ``hot_fraction`` of the tree (recent orders, active
+        customers); otherwise it is uniform over the whole tree.  This
+        two-level model gives a *bounded* primary working set — the
+        paper's "small primary working sets" — with a realistic cold
+        tail.
+        """
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ConfigError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= hot_prob <= 1.0:
+            raise ConfigError("hot_prob must be in [0, 1]")
+        if float(rng.random()) < hot_prob:
+            span = max(1, int(hot_fraction * self.n_leaves))
+            return int(rng.integers(0, span))
+        return int(rng.integers(0, self.n_leaves))

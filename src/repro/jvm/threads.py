@@ -1,0 +1,72 @@
+"""JVM thread model.
+
+Threads matter to the memory system through three addresses: their
+stack (hot and private), their allocation cursor (private slice of the
+new generation), and the processor they are bound to (the paper binds
+application threads to processor sets with ``psrset``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.jvm.heap import AllocationCursor
+from repro.units import mb
+
+#: Where thread stacks live; each thread gets a 1 MB slot.
+STACK_REGION_BASE = 0xF000_0000
+STACK_SLOT = mb(1)
+
+
+@dataclass
+class JavaThread:
+    """One JVM thread with its private memory regions."""
+
+    tid: int
+    cpu: int
+    cursor: AllocationCursor | None = None
+    stack_base: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.tid < 0:
+            raise ConfigError("tid must be non-negative")
+        if self.cpu < 0:
+            raise ConfigError("cpu must be non-negative")
+        # The 4 KB stagger keeps different threads' hot frames out of
+        # the same L2 sets (1 MB slots alone alias set indices).
+        self.stack_base = STACK_REGION_BASE + self.tid * STACK_SLOT + self.tid * 4096
+
+    def stack_addr(self, offset: int) -> int:
+        """An address within this thread's active stack frame window."""
+        if not 0 <= offset < STACK_SLOT:
+            raise ConfigError(f"stack offset {offset} outside the 1 MB slot")
+        return self.stack_base + offset
+
+
+class ThreadRegistry:
+    """Creates threads and assigns them round-robin to processors.
+
+    The paper's ``psrset`` binding restricts application threads to a
+    processor set; we model the steady state of that binding as a
+    static round-robin assignment.
+    """
+
+    def __init__(self, n_procs: int) -> None:
+        if n_procs <= 0:
+            raise ConfigError("n_procs must be positive")
+        self.n_procs = n_procs
+        self.threads: list[JavaThread] = []
+
+    def spawn(self, cursor: AllocationCursor | None = None) -> JavaThread:
+        tid = len(self.threads)
+        thread = JavaThread(tid=tid, cpu=tid % self.n_procs, cursor=cursor)
+        self.threads.append(thread)
+        return thread
+
+    def threads_on(self, cpu: int) -> list[JavaThread]:
+        """All threads bound to ``cpu``."""
+        return [t for t in self.threads if t.cpu == cpu]
+
+    def __len__(self) -> int:
+        return len(self.threads)

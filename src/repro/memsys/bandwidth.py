@@ -1,0 +1,102 @@
+"""Snooping-bus bandwidth model (Gigaplane-class).
+
+The E6000's processors share one address-snoop/data bus; every L2 miss
+occupies an address slot and a data transfer, every writeback a data
+transfer.  The paper attributes ECperf's post-peak decline mostly to
+software contention, but a 16-processor snooping machine also runs
+into the bus itself — this model quantifies how close each simulated
+configuration gets, and the queueing slowdown misses would see.
+
+Modeled after the Sun Gigaplane: split-transaction, one address slot
+per bus cycle, 256-bit data path at ~83 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.memsys.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class BusModel:
+    """Shared-bus capacity in transactions per second."""
+
+    bus_clock_hz: float = 83.3e6
+    data_bytes_per_cycle: int = 32  # 256-bit data path
+    address_slots_per_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bus_clock_hz <= 0 or self.data_bytes_per_cycle <= 0:
+            raise ConfigError("bus clock and width must be positive")
+        if self.address_slots_per_cycle <= 0:
+            raise ConfigError("address_slots_per_cycle must be positive")
+
+    @property
+    def data_bandwidth_bytes_per_s(self) -> float:
+        return self.bus_clock_hz * self.data_bytes_per_cycle
+
+    @property
+    def snoop_rate_per_s(self) -> float:
+        return self.bus_clock_hz * self.address_slots_per_cycle
+
+    def utilization(
+        self,
+        transactions_per_s: float,
+        data_transfers_per_s: float,
+        block_bytes: int = 64,
+    ) -> float:
+        """Bus utilization: the max of the address and data channels.
+
+        A split-transaction bus saturates on whichever channel fills
+        first; snoops cost address slots, fills and writebacks cost
+        ``block_bytes`` of data bandwidth.
+        """
+        if min(transactions_per_s, data_transfers_per_s) < 0:
+            raise ConfigError("rates must be non-negative")
+        address_util = transactions_per_s / self.snoop_rate_per_s
+        data_util = (
+            data_transfers_per_s * block_bytes / self.data_bandwidth_bytes_per_s
+        )
+        return max(address_util, data_util)
+
+    @staticmethod
+    def queueing_slowdown(utilization: float) -> float:
+        """Latency inflation under load (M/M/1-style, capped).
+
+        >>> BusModel.queueing_slowdown(0.0)
+        1.0
+        >>> BusModel.queueing_slowdown(0.5)
+        2.0
+        """
+        if utilization < 0:
+            raise ConfigError("utilization must be non-negative")
+        rho = min(utilization, 0.95)
+        return 1.0 / (1.0 - rho)
+
+    def utilization_of(
+        self,
+        hierarchy: MemoryHierarchy,
+        cpi: float,
+        clock_hz: float = 248e6,
+    ) -> float:
+        """Bus utilization implied by a simulated hierarchy's counters.
+
+        Converts the measurement interval's miss counts into rates via
+        the CPI estimate (cycles = instructions * CPI at ``clock_hz``).
+        """
+        if cpi <= 0 or clock_hz <= 0:
+            raise ConfigError("cpi and clock must be positive")
+        instructions = hierarchy.total_instructions
+        if instructions == 0:
+            return 0.0
+        seconds = instructions * cpi / clock_hz
+        stats = hierarchy.bus.stats
+        transactions = stats.total_misses + stats.upgrades
+        data_transfers = stats.total_misses + stats.writebacks
+        return self.utilization(
+            transactions / seconds,
+            data_transfers / seconds,
+            block_bytes=hierarchy.machine.l2.block,
+        )

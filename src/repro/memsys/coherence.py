@@ -1,0 +1,329 @@
+"""MOSI snooping-bus coherence protocol.
+
+This is the reproduction's model of the Sun E6000's snooping coherence
+bus.  The observable the paper builds on is the *snoop copyback*: a
+processor copying a line back onto the bus in response to another
+processor's request, i.e. a miss satisfied by a cache holding the line
+dirty (MODIFIED or OWNED).  ``CoherenceStats.c2c_transfers`` counts
+exactly those events, and the per-line counts behind Figures 14 and 15
+are kept in ``c2c_by_line``.
+
+The protocol is directory-less: the bus mirrors cache contents in a
+``holders`` map (block -> set of cache ids) so a snoop is an O(1)
+lookup instead of probing every cache.  Caches report their evictions
+back through the return value of ``insert``, keeping the mirror exact;
+an invariant-checking helper is provided for the test suite.
+
+An MSI variant (``protocol="msi"``) is provided for the protocol
+ablation: without the OWNED state, a read snoop hitting a MODIFIED
+line downgrades it to SHARED (memory takes ownership), so later misses
+by third processors are served by memory rather than by a cache.
+A MESI variant (``protocol="mesi"``) adds the EXCLUSIVE state: a read
+miss with no other holders installs E, and a later local write
+upgrades E->M *silently* — no bus transaction — which pays off on
+private read-then-write data like freshly allocated objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable
+
+from repro.errors import ConfigError, SimulationError
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.misses import MissClassifier, MissKind
+
+
+class State(IntEnum):
+    """Coherence line states (INVALID is represented by absence).
+
+    MOSI uses SHARED/OWNED/MODIFIED; the MESI variant uses
+    SHARED/EXCLUSIVE/MODIFIED; MSI only SHARED/MODIFIED.
+    """
+
+    SHARED = 1
+    OWNED = 2
+    MODIFIED = 3
+    EXCLUSIVE = 4
+
+
+#: Fill sources returned by ``read``/``write``.
+FILL_HIT = "hit"
+FILL_C2C = "c2c"
+FILL_MEM = "mem"
+FILL_UPGRADE = "upgrade"
+
+
+@dataclass
+class CacheSideStats:
+    """Per-L2-cache counters."""
+
+    accesses: int = 0
+    misses: int = 0
+    c2c_fills: int = 0
+    mem_fills: int = 0
+    upgrades: int = 0
+    writebacks: int = 0
+    invalidations_received: int = 0
+    misses_by_kind: dict[MissKind, int] = field(
+        default_factory=lambda: {k: 0 for k in MissKind}
+    )
+
+    @property
+    def c2c_ratio(self) -> float:
+        """Fraction of this cache's misses satisfied by another cache."""
+        return self.c2c_fills / self.misses if self.misses else 0.0
+
+
+@dataclass
+class CoherenceStats:
+    """Bus-wide counters and per-line communication footprint."""
+
+    bus_reads: int = 0
+    bus_read_exclusives: int = 0
+    upgrades: int = 0
+    silent_upgrades: int = 0  # MESI E->M transitions (no bus traffic)
+    c2c_transfers: int = 0
+    memory_fetches: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+    c2c_by_line: dict[int, int] = field(default_factory=dict)
+    touched_lines: set[int] = field(default_factory=set)
+
+    @property
+    def total_misses(self) -> int:
+        return self.bus_reads + self.bus_read_exclusives
+
+    @property
+    def c2c_ratio(self) -> float:
+        """Fraction of all misses satisfied cache-to-cache (Figure 8)."""
+        total = self.total_misses
+        return self.c2c_transfers / total if total else 0.0
+
+
+class MOSIBus:
+    """Snooping bus connecting a set of L2 caches.
+
+    Parameters:
+        caches: the L2 cache arrays, one per cache id (a cache may be
+            shared by several processors; sharing is the caller's
+            mapping from processor to cache id).
+        protocol: ``"mosi"`` (default) or ``"msi"`` for the ablation.
+        track_lines: keep per-line C2C counts and the touched-line set
+            (needed for Figures 14/15; a little memory per distinct
+            block).
+        on_invalidate: optional hook ``(cache_id, block) -> None``
+            called when a line is invalidated in a cache, so enclosing
+            hierarchies can shoot down L1 copies.
+    """
+
+    def __init__(
+        self,
+        caches: list[SetAssociativeCache],
+        protocol: str = "mosi",
+        track_lines: bool = True,
+        on_invalidate: Callable[[int, int], None] | None = None,
+    ) -> None:
+        if not caches:
+            raise ConfigError("MOSIBus needs at least one cache")
+        if protocol not in ("mosi", "msi", "mesi"):
+            raise ConfigError(f"unknown protocol {protocol!r}")
+        self.caches = caches
+        self.protocol = protocol
+        self.stats = CoherenceStats()
+        self.cache_stats = [CacheSideStats() for _ in caches]
+        self.classifiers = [MissClassifier() for _ in caches]
+        self._holders: dict[int, set[int]] = {}
+        self._mosi = protocol == "mosi"
+        self._mesi = protocol == "mesi"
+        self._track = track_lines
+        self._on_invalidate = on_invalidate
+
+    # -- public operations ----------------------------------------------
+
+    def read(self, cache_id: int, block: int) -> str:
+        """A processor behind ``cache_id`` reads ``block``.
+
+        Returns the fill source: ``"hit"``, ``"c2c"`` or ``"mem"``.
+        """
+        cache = self.caches[cache_id]
+        side = self.cache_stats[cache_id]
+        side.accesses += 1
+        if self._track:
+            self.stats.touched_lines.add(block)
+        state = cache.probe(block)
+        if state is not None:
+            cache.touch(block)
+            return FILL_HIT
+        # Miss: classify, then issue a BusRd.
+        side.misses += 1
+        side.misses_by_kind[self.classifiers[cache_id].classify(block)] += 1
+        self.stats.bus_reads += 1
+        source = self._supply(cache_id, block, exclusive=False)
+        if source == FILL_C2C:
+            side.c2c_fills += 1
+        else:
+            side.mem_fills += 1
+        state = State.SHARED
+        if self._mesi and not self._holders.get(block):
+            state = State.EXCLUSIVE  # sole copy: silent-upgrade eligible
+        self._install(cache_id, block, state)
+        return source
+
+    def write(self, cache_id: int, block: int) -> str:
+        """A processor behind ``cache_id`` writes ``block``.
+
+        Returns ``"hit"`` (already MODIFIED), ``"upgrade"`` (was
+        SHARED/OWNED; others invalidated), ``"c2c"`` or ``"mem"`` (was
+        absent; BusRdX issued).
+        """
+        cache = self.caches[cache_id]
+        side = self.cache_stats[cache_id]
+        side.accesses += 1
+        if self._track:
+            self.stats.touched_lines.add(block)
+        state = cache.probe(block)
+        if state == State.MODIFIED:
+            cache.touch(block)
+            return FILL_HIT
+        if state == State.EXCLUSIVE:
+            # MESI: sole clean copy; modify it without any bus traffic.
+            self.stats.silent_upgrades += 1
+            cache.set_state(block, State.MODIFIED)
+            return FILL_HIT
+        if state is not None:
+            # Upgrade: invalidate every other holder, keep our copy.
+            self.stats.upgrades += 1
+            side.upgrades += 1
+            self._invalidate_others(cache_id, block)
+            cache.set_state(block, State.MODIFIED)
+            return FILL_UPGRADE
+        # Write miss: BusRdX fetches the line exclusively.
+        side.misses += 1
+        side.misses_by_kind[self.classifiers[cache_id].classify(block)] += 1
+        self.stats.bus_read_exclusives += 1
+        source = self._supply(cache_id, block, exclusive=True)
+        if source == FILL_C2C:
+            side.c2c_fills += 1
+        else:
+            side.mem_fills += 1
+        self._invalidate_others(cache_id, block)
+        self._install(cache_id, block, State.MODIFIED)
+        return source
+
+    # -- protocol internals ----------------------------------------------
+
+    def _supply(self, requester: int, block: int, exclusive: bool) -> str:
+        """Find the data source for a miss and apply snoop side effects."""
+        holders = self._holders.get(block)
+        if holders:
+            for holder_id in holders:
+                holder = self.caches[holder_id]
+                state = holder.probe(block)
+                if state == State.EXCLUSIVE and not exclusive:
+                    # Clean sole copy: drop to SHARED, memory supplies.
+                    holder.set_state(block, State.SHARED)
+                    continue
+                if state in (State.MODIFIED, State.OWNED):
+                    # Snoop copyback: the dirty holder supplies the line.
+                    self.stats.c2c_transfers += 1
+                    if self._track:
+                        count = self.stats.c2c_by_line.get(block, 0)
+                        self.stats.c2c_by_line[block] = count + 1
+                    if not exclusive:
+                        if self._mosi:
+                            holder.set_state(block, State.OWNED)
+                        else:
+                            # MSI: memory takes ownership; the copyback
+                            # doubles as a writeback.
+                            holder.set_state(block, State.SHARED)
+                            self.stats.writebacks += 1
+                    return FILL_C2C
+            # Only clean sharers: memory supplies the data.
+        self.stats.memory_fetches += 1
+        return FILL_MEM
+
+    def _invalidate_others(self, requester: int, block: int) -> None:
+        """Invalidate every copy of ``block`` outside ``requester``."""
+        holders = self._holders.get(block)
+        if not holders:
+            return
+        for holder_id in list(holders):
+            if holder_id == requester:
+                continue
+            self.caches[holder_id].remove(block)
+            holders.discard(holder_id)
+            self.classifiers[holder_id].note_coherence_invalidation(block)
+            self.cache_stats[holder_id].invalidations_received += 1
+            self.stats.invalidations += 1
+            if self._on_invalidate is not None:
+                self._on_invalidate(holder_id, block)
+        if not holders:
+            del self._holders[block]
+
+    def _install(self, cache_id: int, block: int, state: State) -> None:
+        """Insert the filled line, processing any eviction."""
+        victim = self.caches[cache_id].insert(block, state)
+        self.classifiers[cache_id].note_insert(block)
+        self._holders.setdefault(block, set()).add(cache_id)
+        if victim is None:
+            return
+        vblock, vstate = victim
+        self.classifiers[cache_id].note_eviction(vblock)
+        vholders = self._holders.get(vblock)
+        if vholders is not None:
+            vholders.discard(cache_id)
+            if not vholders:
+                del self._holders[vblock]
+        if vstate in (State.MODIFIED, State.OWNED):
+            self.stats.writebacks += 1
+            self.cache_stats[cache_id].writebacks += 1
+
+    def reset_stats(self) -> None:
+        """Zero all counters, keeping cache contents and history.
+
+        Used to discard a warmup window: the caches stay warm and the
+        miss classifiers keep their history, but the reported counts
+        cover only the measurement interval — the paper's steady-state
+        reporting (Section 2.1).
+        """
+        self.stats = CoherenceStats()
+        self.cache_stats = [CacheSideStats() for _ in self.caches]
+
+    # -- invariants (test support) ----------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify protocol invariants; raises SimulationError on violation.
+
+        - single-writer: at most one MODIFIED copy, and if one exists it
+          is the only copy;
+        - single-owner: at most one OWNED copy per line;
+        - mirror consistency: ``holders`` matches actual cache contents.
+        """
+        seen: dict[int, list[tuple[int, State]]] = {}
+        for cid, cache in enumerate(self.caches):
+            for block in cache.resident_blocks():
+                seen.setdefault(block, []).append((cid, cache.probe(block)))
+        for block, copies in seen.items():
+            states = [s for _, s in copies]
+            if states.count(State.MODIFIED) > 1:
+                raise SimulationError(f"block {block:#x}: multiple MODIFIED copies")
+            if State.MODIFIED in states and len(copies) > 1:
+                raise SimulationError(f"block {block:#x}: MODIFIED is not exclusive")
+            if State.EXCLUSIVE in states and len(copies) > 1:
+                raise SimulationError(f"block {block:#x}: EXCLUSIVE is not exclusive")
+            if states.count(State.OWNED) > 1:
+                raise SimulationError(f"block {block:#x}: multiple OWNED copies")
+            mirror = self._holders.get(block, set())
+            actual = {cid for cid, _ in copies}
+            if mirror != actual:
+                raise SimulationError(
+                    f"block {block:#x}: holders mirror {mirror} != actual {actual}"
+                )
+        for block, holders in self._holders.items():
+            for cid in holders:
+                if not self.caches[cid].contains(block):
+                    raise SimulationError(
+                        f"block {block:#x}: mirror says cache {cid} holds it"
+                    )

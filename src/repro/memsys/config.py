@@ -1,0 +1,165 @@
+"""Cache and machine geometry configuration.
+
+All validation happens at construction time (fail fast, before cycles
+are spent).  The presets mirror the paper's hardware: a Sun E6000 with
+16 UltraSPARC II processors, split 16 KB L1 caches, 1 MB 4-way L2
+caches with 64-byte lines, and a snooping coherence bus.
+
+These classes live in :mod:`repro.memsys` because they describe cache
+geometry; :mod:`repro.core.config` re-exports them alongside the
+simulation-control config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.memsys.latency import E6000_LATENCIES, LatencyBook
+from repro.units import format_size, is_power_of_two, kb, log2_int, mb
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache.
+
+    >>> CacheConfig(size=mb(1), assoc=4, block=64).n_sets
+    4096
+    """
+
+    size: int
+    assoc: int = 4
+    block: int = 64
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.assoc <= 0 or self.block <= 0:
+            raise ConfigError("cache size, associativity and block must be positive")
+        if not is_power_of_two(self.block):
+            raise ConfigError(f"block size must be a power of two, got {self.block}")
+        if self.block < 32:
+            raise ConfigError(
+                "block sizes below 32 B are not supported: workloads emit "
+                "instruction fetches at 32 B granularity"
+            )
+        if self.size % (self.assoc * self.block) != 0:
+            raise ConfigError(
+                f"{self.name}: size {self.size} is not divisible by "
+                f"assoc*block = {self.assoc * self.block}"
+            )
+        if not is_power_of_two(self.n_sets):
+            raise ConfigError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size // (self.assoc * self.block)
+
+    @property
+    def block_bits(self) -> int:
+        return log2_int(self.block)
+
+    @property
+    def set_mask(self) -> int:
+        return self.n_sets - 1
+
+    def scaled(self, size: int) -> "CacheConfig":
+        """Same organization, different capacity."""
+        return replace(self, size=size)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {format_size(self.size)}, {self.assoc}-way, "
+            f"{self.block} B blocks, {self.n_sets} sets"
+        )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A multiprocessor memory-system configuration.
+
+    ``procs_per_l2`` models the shared-cache CMP study of Section 5.3:
+    1 means private L2s (the E6000 base case); 8 with an 8-processor
+    machine means all processors share a single L2.
+    """
+
+    n_procs: int = 1
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=kb(16), assoc=2, block=32, name="L1I")
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=kb(16), assoc=2, block=32, name="L1D")
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=mb(1), assoc=4, block=64, name="L2")
+    )
+    procs_per_l2: int = 1
+    latencies: LatencyBook = E6000_LATENCIES
+    clock_hz: int = 248_000_000
+
+    def __post_init__(self) -> None:
+        if self.n_procs <= 0:
+            raise ConfigError(f"n_procs must be positive, got {self.n_procs}")
+        if self.procs_per_l2 <= 0:
+            raise ConfigError(f"procs_per_l2 must be positive, got {self.procs_per_l2}")
+        if self.n_procs % self.procs_per_l2 != 0:
+            raise ConfigError(
+                f"n_procs ({self.n_procs}) must be divisible by procs_per_l2 "
+                f"({self.procs_per_l2})"
+            )
+
+    @property
+    def n_l2_caches(self) -> int:
+        return self.n_procs // self.procs_per_l2
+
+    def with_procs(self, n_procs: int) -> "MachineConfig":
+        return replace(self, n_procs=n_procs)
+
+    def with_shared_l2(self, procs_per_l2: int) -> "MachineConfig":
+        return replace(self, procs_per_l2=procs_per_l2)
+
+    def describe(self) -> str:
+        sharing = (
+            "private L2s"
+            if self.procs_per_l2 == 1
+            else f"{self.procs_per_l2} procs per shared L2"
+        )
+        return (
+            f"{self.n_procs}-processor machine, {sharing}; "
+            f"{self.l1i.describe()}; {self.l1d.describe()}; {self.l2.describe()}"
+        )
+
+
+def e6000_machine(n_procs: int = 16) -> MachineConfig:
+    """The paper's Sun E6000: up to 16 UltraSPARC II, private 1 MB L2s."""
+    return MachineConfig(n_procs=n_procs)
+
+
+def cmp_machine(n_procs: int = 8, procs_per_l2: int = 8) -> MachineConfig:
+    """A chip-multiprocessor configuration for the shared-cache study."""
+    return MachineConfig(n_procs=n_procs, procs_per_l2=procs_per_l2)
+
+
+def next_generation_machine(n_procs: int = 16) -> MachineConfig:
+    """An UltraSPARC-III-generation machine (Section 7's "further study").
+
+    Faster clock, bigger L1s, an 8 MB off-chip L2 — but memory gets
+    *relatively* slower (more cycles per access at the higher clock),
+    which shifts weight from capacity misses to coherence latency.
+    """
+    from repro.memsys.latency import LatencyBook
+
+    return MachineConfig(
+        n_procs=n_procs,
+        l1i=CacheConfig(size=kb(32), assoc=4, block=32, name="L1I"),
+        l1d=CacheConfig(size=kb(64), assoc=4, block=32, name="L1D"),
+        l2=CacheConfig(size=mb(8), assoc=8, block=64, name="L2"),
+        latencies=LatencyBook(
+            l1_hit=2, l2_hit=15, memory=330, cache_to_cache=460,
+            tlb_miss=80, store_buffer_drain=4,
+        ),
+        clock_hz=900_000_000,
+    )
+
+
+#: Default machine preset matching the paper's measurement platform.
+E6000 = e6000_machine()

@@ -1,0 +1,73 @@
+"""Latency book for the simulated machine.
+
+The paper decomposes data stall time by multiplying event frequencies
+with published access times for the Sun E6000 (Section 4.2: "Because
+some factors are estimated using frequency counts multiplied by
+published access times...").  We adopt the same methodology; this
+module is the single source of those access times.
+
+Key property from the paper (Section 4.3): on the E6000 a
+cache-to-cache transfer takes roughly 40% *longer* than a fetch from
+main memory, because the owning cache must be snooped and copy the
+line back over the bus.  On NUMA machines the penalty is 200-300%;
+``numa()`` builds such a book for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LatencyBook:
+    """Access latencies in processor cycles.
+
+    Attributes:
+        l1_hit: load-to-use latency of a first-level cache hit.
+        l2_hit: latency of an L1 miss that hits in the L2.
+        memory: latency of an L2 miss satisfied by main memory.
+        cache_to_cache: latency of an L2 miss satisfied by another
+            processor's cache (snoop copyback).
+        tlb_miss: software TLB-fill penalty.
+        store_buffer_drain: cycles to retire one store from the store
+            buffer once it reaches the head.
+    """
+
+    l1_hit: int = 1
+    l2_hit: int = 10
+    memory: int = 135
+    cache_to_cache: int = 189
+    tlb_miss: int = 60
+    store_buffer_drain: int = 4
+
+    def __post_init__(self) -> None:
+        if not (0 < self.l1_hit <= self.l2_hit <= self.memory):
+            raise ConfigError(
+                "latencies must satisfy 0 < l1_hit <= l2_hit <= memory, got "
+                f"{self.l1_hit}/{self.l2_hit}/{self.memory}"
+            )
+        if self.cache_to_cache <= 0 or self.tlb_miss < 0:
+            raise ConfigError("cache_to_cache must be positive, tlb_miss >= 0")
+
+    @property
+    def c2c_penalty_ratio(self) -> float:
+        """Cache-to-cache latency relative to memory (1.4 on the E6000)."""
+        return self.cache_to_cache / self.memory
+
+    def with_c2c_ratio(self, ratio: float) -> "LatencyBook":
+        """Return a copy with the C2C/memory ratio set to ``ratio``."""
+        if ratio <= 0:
+            raise ConfigError(f"c2c ratio must be positive, got {ratio}")
+        return replace(self, cache_to_cache=int(round(self.memory * ratio)))
+
+
+#: The E6000 book used throughout the reproduction: ~550 ns memory at
+#: 248 MHz is ~135 cycles, and C2C is 40% longer (Section 4.3, [8]).
+E6000_LATENCIES = LatencyBook()
+
+
+def numa(indirection_ratio: float = 2.5) -> LatencyBook:
+    """A NUMA-like book where C2C costs 200-300% of memory (GS320-style)."""
+    return E6000_LATENCIES.with_c2c_ratio(indirection_ratio)

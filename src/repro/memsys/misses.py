@@ -1,0 +1,61 @@
+"""Miss classification.
+
+The paper distinguishes misses satisfied from memory from misses
+satisfied by another processor's cache (sharing/coherence misses), and
+discusses cold vs. capacity effects when comparing shared and private
+L2 caches (Section 5.3).  We classify every L2 miss into the classic
+three-way taxonomy:
+
+- ``COLD`` — the block was never resident in this cache before;
+- ``COHERENCE`` — the block was resident but was invalidated by
+  another processor's write (the miss would not have occurred on a
+  uniprocessor);
+- ``REPLACEMENT`` — capacity/conflict: the block was evicted by this
+  cache's own replacement decisions.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MissKind(Enum):
+    """Why an access missed."""
+
+    COLD = "cold"
+    COHERENCE = "coherence"
+    REPLACEMENT = "replacement"
+
+
+class MissClassifier:
+    """Tracks per-cache history needed to classify misses.
+
+    One classifier serves one cache.  ``ever_held`` grows with the
+    footprint of the measurement interval (bounded by the number of
+    distinct blocks referenced, not by the simulated machine's RAM).
+    """
+
+    def __init__(self) -> None:
+        self._ever_held: set[int] = set()
+        self._invalidated: set[int] = set()
+
+    def note_insert(self, block: int) -> None:
+        """Record that the cache now holds ``block``."""
+        self._ever_held.add(block)
+        self._invalidated.discard(block)
+
+    def note_coherence_invalidation(self, block: int) -> None:
+        """Record that a remote write invalidated ``block`` here."""
+        self._invalidated.add(block)
+
+    def note_eviction(self, block: int) -> None:
+        """Record a local replacement decision for ``block``."""
+        self._invalidated.discard(block)
+
+    def classify(self, block: int) -> MissKind:
+        """Classify a miss on ``block`` (call before note_insert)."""
+        if block not in self._ever_held:
+            return MissKind.COLD
+        if block in self._invalidated:
+            return MissKind.COHERENCE
+        return MissKind.REPLACEMENT

@@ -1,0 +1,129 @@
+"""Replay one trace through many cache geometries at once.
+
+Figures 12 and 13 sweep cache sizes from 64 KB to 16 MB for four
+workload configurations.  Generating a fresh trace per (workload,
+size) point would dominate runtime and add sampling noise between
+points, so the figure drivers generate each workload's trace once and
+replay it through every geometry in a single pass.
+
+Warmup handling follows the paper's steady-state reporting: the first
+``warmup_fraction`` of the trace fills the caches, then counters are
+snapshotted and only the remainder is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsys.config import CacheConfig
+from repro.errors import ConfigError
+from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, STORE
+from repro.memsys.cache import SetAssociativeCache
+
+
+@dataclass
+class MissCurvePoint:
+    """One point of a miss-rate-vs-size curve."""
+
+    size: int
+    accesses: int
+    misses: int
+    mpki: float
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class MultiConfigSimulator:
+    """Drives N independent caches with the same reference stream.
+
+    The stream is pre-split by reference class: instruction fetches go
+    to instruction caches, loads/stores to data caches, so the caller
+    chooses which class a sweep measures (the paper's figures report
+    split I/D miss rates).
+    """
+
+    def __init__(self, configs: list[CacheConfig], kind: str) -> None:
+        if kind not in ("instr", "data"):
+            raise ConfigError(f"kind must be 'instr' or 'data', got {kind!r}")
+        if not configs:
+            raise ConfigError("need at least one cache config")
+        self.kind = kind
+        self.caches = [SetAssociativeCache(cfg) for cfg in configs]
+        self._block_bits = [cfg.block_bits for cfg in configs]
+        self.instructions = 0
+        self._warm_instructions = 0
+        self._warm_stats: list[tuple[int, int]] | None = None
+
+    def replay(self, trace: list[int]) -> None:
+        """Feed every relevant reference in ``trace`` to all caches."""
+        want_instr = self.kind == "instr"
+        caches = self.caches
+        bits = self._block_bits
+        n = len(caches)
+        for ref in trace:
+            kind = ref & 0x3
+            if kind == IFETCH:
+                self.instructions += INSTRUCTIONS_PER_IFETCH
+                if not want_instr:
+                    continue
+                write = False
+            else:
+                if want_instr:
+                    continue
+                write = kind == STORE
+            addr = ref >> 2
+            for i in range(n):
+                caches[i].access(addr >> bits[i], write)
+
+    def mark_warm(self) -> None:
+        """Snapshot counters: everything before this call is warmup."""
+        self._warm_stats = [(c.stats.accesses, c.stats.misses) for c in self.caches]
+        self._warm_instructions = self.instructions
+
+    def results(self) -> list[MissCurvePoint]:
+        """Miss-curve points over the post-warmup window."""
+        warm = self._warm_stats or [(0, 0)] * len(self.caches)
+        instr = self.instructions - self._warm_instructions
+        points = []
+        for cache, (warm_acc, warm_miss) in zip(self.caches, warm):
+            accesses = cache.stats.accesses - warm_acc
+            misses = cache.stats.misses - warm_miss
+            mpki = 1000.0 * misses / instr if instr else 0.0
+            points.append(
+                MissCurvePoint(
+                    size=cache.config.size,
+                    accesses=accesses,
+                    misses=misses,
+                    mpki=mpki,
+                )
+            )
+        return points
+
+
+def simulate_miss_curve(
+    trace: list[int],
+    sizes: list[int],
+    kind: str,
+    assoc: int = 4,
+    block: int = 64,
+    warmup_fraction: float = 0.2,
+) -> list[MissCurvePoint]:
+    """Miss rate (MPKI) at each cache size, from one trace.
+
+    Mirrors the paper's sweep setup: split caches, 4-way set
+    associative, 64-byte blocks (Section 5.1).
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigError("warmup_fraction must be in [0, 1)")
+    configs = [
+        CacheConfig(size=s, assoc=assoc, block=block, name=f"{kind}-{s}")
+        for s in sizes
+    ]
+    sim = MultiConfigSimulator(configs, kind=kind)
+    split = int(len(trace) * warmup_fraction)
+    sim.replay(trace[:split])
+    sim.mark_warm()
+    sim.replay(trace[split:])
+    return sim.results()

@@ -1,0 +1,85 @@
+"""Trace persistence.
+
+Figure sweeps replay the same trace through many configurations; a
+saved trace also makes a run exactly repeatable across processes (the
+Simics workflow the paper used kept checkpoint+trace artifacts for the
+same reason).  Traces are stored as compressed numpy archives: one
+``uint64`` array per processor plus instruction counts and metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.base import TraceBundle
+
+#: Format marker for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def save_trace(bundle: TraceBundle, path: str | Path) -> Path:
+    """Write a trace bundle to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays = {
+        f"cpu{idx}": np.asarray(trace, dtype=np.uint64)
+        for idx, trace in enumerate(bundle.per_cpu)
+    }
+    header = {
+        "version": FORMAT_VERSION,
+        "workload": bundle.workload,
+        "n_procs": bundle.n_procs,
+        "instructions": bundle.instructions,
+        "meta": _jsonable(bundle.meta),
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_trace(path: str | Path) -> TraceBundle:
+    """Read a trace bundle written by :func:`save_trace`."""
+    from repro.workloads.base import TraceBundle
+
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"trace file {path} does not exist")
+    with np.load(path) as data:
+        if "header" not in data:
+            raise AnalysisError(f"{path} is not a repro trace file")
+        header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+        if header.get("version") != FORMAT_VERSION:
+            raise AnalysisError(
+                f"{path}: unsupported trace format version {header.get('version')}"
+            )
+        per_cpu = [
+            [int(x) for x in data[f"cpu{idx}"]] for idx in range(header["n_procs"])
+        ]
+    return TraceBundle(
+        workload=header["workload"],
+        per_cpu=per_cpu,
+        instructions=list(header["instructions"]),
+        meta=dict(header["meta"]),
+    )
+
+
+def _jsonable(meta: dict) -> dict:
+    """Keep only JSON-serializable metadata entries."""
+    out = {}
+    for key, value in meta.items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            value = str(value)
+        out[key] = value
+    return out

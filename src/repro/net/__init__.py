@@ -1,0 +1,6 @@
+"""Network substrate: the 100-Mbit Ethernet connecting ECperf's tiers."""
+
+from repro.net.ethernet import EthernetLink
+from repro.net.messages import MessageType, message_bytes
+
+__all__ = ["EthernetLink", "MessageType", "message_bytes"]

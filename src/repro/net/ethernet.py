@@ -1,0 +1,43 @@
+"""100-Mbit Ethernet link model.
+
+The paper's testbed connects the ECperf tiers (driver, application
+server, database, supplier emulator) with 100-Mbit Ethernet.  For the
+memory-system study the link matters in two ways: transfer time
+contributes to transaction latency (I/O wait in Figure 5), and every
+message costs the application server kernel time (the network-stack
+model).  A simple latency + serialization model captures both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EthernetLink:
+    """Point-to-point link with fixed latency and bandwidth."""
+
+    bandwidth_bps: float = 100e6
+    latency_s: float = 150e-6
+    per_message_overhead_bytes: int = 78  # Ethernet + IP + TCP framing
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0 or self.latency_s < 0:
+            raise ConfigError("bandwidth must be positive, latency non-negative")
+        if self.per_message_overhead_bytes < 0:
+            raise ConfigError("per_message_overhead_bytes must be non-negative")
+
+    def transfer_time(self, payload_bytes: int) -> float:
+        """Seconds to deliver one message of ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ConfigError("payload must be non-negative")
+        wire_bytes = payload_bytes + self.per_message_overhead_bytes
+        return self.latency_s + (wire_bytes * 8) / self.bandwidth_bps
+
+    def utilization(self, bytes_per_second: float) -> float:
+        """Offered load as a fraction of link capacity."""
+        if bytes_per_second < 0:
+            raise ConfigError("bytes_per_second must be non-negative")
+        return (bytes_per_second * 8) / self.bandwidth_bps

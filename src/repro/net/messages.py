@@ -1,0 +1,43 @@
+"""Tier-to-tier message catalogue for ECperf.
+
+Sizes are modeling estimates for the benchmark's message classes:
+driver requests/responses are small HTTP exchanges, database traffic
+is JDBC rows, and supplier communication exchanges XML purchase-order
+documents (Section 2.2: the beans "exchange XML documents with the
+Supplier Emulator").
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import ConfigError
+
+
+class MessageType(Enum):
+    """Messages crossing the application server's network interfaces."""
+
+    DRIVER_REQUEST = "driver_request"
+    DRIVER_RESPONSE = "driver_response"
+    DB_QUERY = "db_query"
+    DB_RESULT = "db_result"
+    SUPPLIER_PO_XML = "supplier_po_xml"
+    SUPPLIER_ACK = "supplier_ack"
+
+
+_SIZES: dict[MessageType, int] = {
+    MessageType.DRIVER_REQUEST: 512,
+    MessageType.DRIVER_RESPONSE: 2048,
+    MessageType.DB_QUERY: 384,
+    MessageType.DB_RESULT: 1536,
+    MessageType.SUPPLIER_PO_XML: 6144,
+    MessageType.SUPPLIER_ACK: 512,
+}
+
+
+def message_bytes(message: MessageType) -> int:
+    """Payload size in bytes for a message class."""
+    try:
+        return _SIZES[message]
+    except KeyError:  # pragma: no cover - enum is closed
+        raise ConfigError(f"unknown message type {message!r}") from None

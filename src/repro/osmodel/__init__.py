@@ -1,0 +1,22 @@
+"""Operating-system model (Solaris 8 stand-in).
+
+Provides the accounting and mechanisms the paper's Solaris tools
+expose: ``psrset`` processor sets (:mod:`repro.osmodel.scheduler`),
+``mpstat`` execution-mode breakdowns (:mod:`repro.osmodel.mpstat`),
+Intimate Shared Memory large pages (:mod:`repro.osmodel.ism`), and the
+kernel network-stack time model behind ECperf's growing system time
+(:mod:`repro.osmodel.netstack`).
+"""
+
+from repro.osmodel.ism import IsmSetting, tlb_for
+from repro.osmodel.mpstat import ModeBreakdown
+from repro.osmodel.netstack import KernelNetworkModel
+from repro.osmodel.scheduler import ProcessorSet
+
+__all__ = [
+    "IsmSetting",
+    "tlb_for",
+    "ModeBreakdown",
+    "KernelNetworkModel",
+    "ProcessorSet",
+]

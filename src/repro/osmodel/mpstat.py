@@ -1,0 +1,66 @@
+"""Execution-mode accounting (the ``mpstat`` view).
+
+Figure 5 breaks execution time into user, system, I/O wait and idle,
+with the idle time further split into garbage-collection idle and
+other idle (the paper estimates GC idle as the fraction of processors
+idle during collection times the fraction of time collecting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ModeBreakdown:
+    """Fractions of execution time by mode; must sum to 1."""
+
+    user: float
+    system: float
+    io: float
+    gc_idle: float
+    other_idle: float
+
+    def __post_init__(self) -> None:
+        parts = (self.user, self.system, self.io, self.gc_idle, self.other_idle)
+        if any(x < -1e-9 for x in parts):
+            raise AnalysisError(f"negative mode fraction in {parts}")
+        total = sum(parts)
+        if abs(total - 1.0) > 1e-6:
+            raise AnalysisError(f"mode fractions sum to {total}, expected 1.0")
+
+    @property
+    def idle(self) -> float:
+        """Total idle (GC + other), as mpstat would report it."""
+        return self.gc_idle + self.other_idle
+
+    @property
+    def busy(self) -> float:
+        return self.user + self.system
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "user": self.user,
+            "system": self.system,
+            "io": self.io,
+            "gc_idle": self.gc_idle,
+            "other_idle": self.other_idle,
+        }
+
+    @classmethod
+    def from_components(
+        cls, user: float, system: float, io: float, gc_idle: float, other_idle: float
+    ) -> "ModeBreakdown":
+        """Build a breakdown, normalizing tiny rounding drift."""
+        total = user + system + io + gc_idle + other_idle
+        if total <= 0:
+            raise AnalysisError("mode components must have positive sum")
+        return cls(
+            user=user / total,
+            system=system / total,
+            io=io / total,
+            gc_idle=gc_idle / total,
+            other_idle=other_idle / total,
+        )

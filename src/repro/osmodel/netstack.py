@@ -1,0 +1,66 @@
+"""Kernel network-stack time model.
+
+Figure 5's sharpest contrast: ECperf's system time grows from under
+5% on one processor to nearly 30% on fifteen, while SPECjbb spends
+essentially none — SPECjbb emulates all tiers inside one JVM with
+memory-based communication, whereas ECperf's tiers talk over
+OS-managed TCP.  The paper hypothesizes the growth comes from
+*contention in the networking code* (Section 4.1).
+
+The model: each transaction does a fixed amount of kernel network
+work (per-byte plus per-message costs), and a fraction of that work
+serializes on shared kernel state (protocol control blocks, interface
+queues), inflating system time super-linearly with processor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class KernelNetworkModel:
+    """System-time fraction as a function of processor count.
+
+    Attributes:
+        base_fraction: system-time fraction on one processor (the
+            uncontended per-transaction kernel work).
+        contention_coeff: growth of kernel time per additional
+            processor, from lock contention in the stack.
+        exponent: shape of the contention growth (1 = linear in p).
+        cap: ceiling on the modeled system fraction.
+    """
+
+    base_fraction: float = 0.045
+    contention_coeff: float = 0.028
+    exponent: float = 1.15
+    cap: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_fraction < 1.0:
+            raise ConfigError("base_fraction must be in [0, 1)")
+        if self.contention_coeff < 0 or self.exponent <= 0:
+            raise ConfigError("contention_coeff >= 0 and exponent > 0 required")
+        if not self.base_fraction <= self.cap <= 1.0:
+            raise ConfigError("cap must be within [base_fraction, 1]")
+
+    def system_fraction(self, n_procs: int) -> float:
+        """System-time fraction at ``n_procs`` processors.
+
+        >>> m = KernelNetworkModel()
+        >>> m.system_fraction(1) < 0.05
+        True
+        >>> 0.25 < m.system_fraction(15) <= 0.35
+        True
+        """
+        if n_procs <= 0:
+            raise ConfigError("n_procs must be positive")
+        grown = self.base_fraction + self.contention_coeff * (n_procs - 1) ** self.exponent
+        return min(self.cap, grown)
+
+    @classmethod
+    def none(cls) -> "KernelNetworkModel":
+        """A no-kernel-time model (SPECjbb: single process, no tiers)."""
+        return cls(base_fraction=0.0, contention_coeff=0.0, exponent=1.0, cap=1.0)

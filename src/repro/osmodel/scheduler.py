@@ -1,0 +1,50 @@
+"""Processor sets (the ``psrset`` mechanism).
+
+The paper restricts application threads to a subset of the E6000's 16
+processors and keeps other processes off that subset.  Two memory-
+system consequences are modeled:
+
+- scaling experiments vary the *set size* while the machine stays at
+  16 processors;
+- the OS still runs on processors outside the set, which is why
+  cache-to-cache transfers occur even in "1-processor" runs
+  (Section 4.3): the bound processor answers snoops from OS activity
+  elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ProcessorSet:
+    """A contiguous processor set on a larger machine."""
+
+    machine_procs: int
+    set_size: int
+
+    def __post_init__(self) -> None:
+        if self.machine_procs <= 0:
+            raise ConfigError("machine_procs must be positive")
+        if not 0 < self.set_size <= self.machine_procs:
+            raise ConfigError(
+                f"set size {self.set_size} must be in [1, {self.machine_procs}]"
+            )
+
+    @property
+    def members(self) -> list[int]:
+        """Processor ids inside the set (application processors)."""
+        return list(range(self.set_size))
+
+    @property
+    def outside(self) -> list[int]:
+        """Processor ids outside the set (OS and other processes)."""
+        return list(range(self.set_size, self.machine_procs))
+
+    def is_member(self, cpu: int) -> bool:
+        if not 0 <= cpu < self.machine_procs:
+            raise ConfigError(f"cpu {cpu} outside the machine")
+        return cpu < self.set_size

@@ -1,0 +1,32 @@
+"""Throughput and scaling models.
+
+The paper's Figures 4, 5 and 9 are wall-clock measurements on real
+hardware; a trace-driven cache simulator cannot produce wall-clock
+speedups by itself.  This package composes the quantities the paper
+identifies as the scaling mechanisms:
+
+- **CPI(p)** — from the memory-hierarchy simulation (Figure 6);
+- **path length(p)** — instructions per operation, falling for ECperf
+  as object-cache constructive interference rises (Section 4.4);
+- **idle(p)** — queueing on shared software resources: the database
+  connection pool, JVM-internal locks (Section 4.1);
+- **system(p)** — kernel network-stack time growing with contention
+  (ECperf only);
+- **GC** — the single-threaded collector's serial fraction
+  (Sections 4.1, 4.5).
+"""
+
+from repro.perfmodel.cluster import ClusteredThroughputModel, compare_clusterings
+from repro.perfmodel.contention import ContentionModel
+from repro.perfmodel.pathlength import PathLengthModel
+from repro.perfmodel.throughput import ScalingPoint, ThroughputModel, WorkloadScalingParams
+
+__all__ = [
+    "ClusteredThroughputModel",
+    "compare_clusterings",
+    "ContentionModel",
+    "PathLengthModel",
+    "ScalingPoint",
+    "ThroughputModel",
+    "WorkloadScalingParams",
+]

@@ -1,0 +1,89 @@
+"""Instructions per operation vs. concurrency.
+
+Section 4.4 resolves the paper's apparent contradiction — ECperf
+scales super-linearly from 1 to 8 processors even though CPI rises —
+by observing that *instructions per BBop fall even faster*, and
+hypothesizes constructive interference in the application server's
+object cache: one thread reuses beans another thread fetched, skipping
+whole persistence/JDBC code paths.
+
+The model ties path length to the bean cache's hit rate: each cache
+miss costs ``db_path_ratio`` times the base operation path (container
+persistence + JDBC + marshalling + kernel round trip).  SPECjbb has no
+such cache, so its path length is flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.appserver.beancache import BeanCache
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PathLengthModel:
+    """Instructions per operation as a function of processor count.
+
+    Attributes:
+        base_instr: instructions per operation when every bean lookup
+            hits (the pure business-logic path).
+        db_path_ratio: extra path per *miss-driven* operation, as a
+            multiple of ``base_instr``.
+        misses_per_op_single: bean-cache misses per operation with one
+            thread (falls with concurrency per the cache's hit model).
+        threads_per_proc: worker threads per processor (concurrency at
+            p processors is ``p * threads_per_proc``).
+        cache: the bean cache whose hit model drives the reduction;
+            None means a flat path length (SPECjbb).
+    """
+
+    base_instr: float
+    db_path_ratio: float = 2.4
+    misses_per_op_single: float = 1.0
+    threads_per_proc: int = 3
+    cache: BeanCache | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_instr <= 0:
+            raise ConfigError("base_instr must be positive")
+        if self.db_path_ratio < 0 or self.misses_per_op_single < 0:
+            raise ConfigError("ratios must be non-negative")
+        if self.threads_per_proc <= 0:
+            raise ConfigError("threads_per_proc must be positive")
+
+    def instr_per_op(self, n_procs: int) -> float:
+        """Expected instructions per operation at ``n_procs``."""
+        if n_procs <= 0:
+            raise ConfigError("n_procs must be positive")
+        if self.cache is None:
+            return self.base_instr
+        threads = n_procs * self.threads_per_proc
+        single_miss = 1.0 - self.cache.hit_rate(self.threads_per_proc)
+        now_miss = 1.0 - self.cache.hit_rate(threads)
+        if single_miss <= 0:
+            scale = 0.0
+        else:
+            scale = now_miss / single_miss
+        extra = self.misses_per_op_single * scale * self.db_path_ratio
+        return self.base_instr * (1.0 + extra)
+
+    def relative(self, n_procs: int) -> float:
+        """Path length normalized to the single-processor value."""
+        return self.instr_per_op(n_procs) / self.instr_per_op(1)
+
+    @classmethod
+    def flat(cls, base_instr: float = 100_000.0) -> "PathLengthModel":
+        """A concurrency-independent path length (SPECjbb)."""
+        return cls(base_instr=base_instr, cache=None)
+
+    @classmethod
+    def ecperf_default(cls) -> "PathLengthModel":
+        """The ECperf configuration used by the figure drivers."""
+        return cls(
+            base_instr=120_000.0,
+            db_path_ratio=2.4,
+            misses_per_op_single=1.0,
+            threads_per_proc=3,
+            cache=BeanCache(),
+        )

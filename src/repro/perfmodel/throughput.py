@@ -1,0 +1,185 @@
+"""The throughput-scaling model (Figures 4, 5 and 9).
+
+The benchmarks are throughput-oriented and officially *scale their
+work with the input rate* (Section 4.6), so the model works in rates,
+not fixed batches:
+
+- the machine's *mutator rate* is
+  ``R(p) = p * (1 - idle(p) - io) * (1 - sys(p)) / (PL(p) * CPI(p))``
+  — processors, derated by contention idle time and kernel network
+  overhead, divided by the per-operation work;
+- the single-threaded collector must keep up: each operation's
+  garbage costs ``d`` collector-seconds, so a throughput ``X`` forces
+  a stop-the-world fraction ``g = X * d``, during which the mutators
+  stop.  Self-consistency ``X = R * (1 - X d)`` gives the closed form
+  ``X(p) = R(p) / (1 + R(p) d)`` — the collector is a soft serial
+  bottleneck that tightens as throughput grows.
+
+Speedup is ``X(p) / X(1)``; Figure 9's GC-adjusted speedup divides
+collection time out of the runtime, which reduces to ``R(p) / R(1)``.
+The same terms yield Figure 5's execution-mode breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.osmodel.mpstat import ModeBreakdown
+from repro.osmodel.netstack import KernelNetworkModel
+from repro.perfmodel.contention import ContentionModel
+from repro.perfmodel.pathlength import PathLengthModel
+
+
+@dataclass(frozen=True)
+class WorkloadScalingParams:
+    """Everything the throughput model needs to know about a workload."""
+
+    name: str
+    path_length: PathLengthModel
+    contention: ContentionModel
+    kernel: KernelNetworkModel
+    io_fraction: float = 0.0
+    gc_fraction_1p: float = 0.07
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.io_fraction < 0.5:
+            raise ConfigError("io_fraction must be in [0, 0.5)")
+        if not 0.0 <= self.gc_fraction_1p < 0.5:
+            raise ConfigError("gc_fraction_1p must be in [0, 0.5)")
+
+    @classmethod
+    def specjbb_default(cls) -> "WorkloadScalingParams":
+        """SPECjbb: flat path length, no kernel time, lock contention."""
+        return cls(
+            name="specjbb",
+            path_length=PathLengthModel.flat(),
+            contention=ContentionModel.specjbb_default(),
+            kernel=KernelNetworkModel.none(),
+            io_fraction=0.0,
+            gc_fraction_1p=0.015,
+        )
+
+    @classmethod
+    def ecperf_default(cls) -> "WorkloadScalingParams":
+        """ECperf: falling path length, kernel time, pool contention."""
+        return cls(
+            name="ecperf",
+            path_length=PathLengthModel.ecperf_default(),
+            contention=ContentionModel.ecperf_default(),
+            kernel=KernelNetworkModel(
+                base_fraction=0.045,
+                contention_coeff=0.006,
+                exponent=1.5,
+                cap=0.40,
+            ),
+            io_fraction=0.02,
+            gc_fraction_1p=0.012,
+        )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One processor count's model outputs."""
+
+    n_procs: int
+    speedup: float
+    speedup_no_gc: float
+    cpi: float
+    path_relative: float
+    modes: ModeBreakdown
+
+    @property
+    def throughput_relative(self) -> float:
+        """Throughput normalized to one processor (== speedup)."""
+        return self.speedup
+
+
+class ThroughputModel:
+    """Composes CPI, path length, contention, kernel and GC terms."""
+
+    def __init__(
+        self,
+        params: WorkloadScalingParams,
+        cpi_fn: Callable[[int], float],
+        gc_threads: int = 1,
+    ) -> None:
+        """``cpi_fn(p)`` supplies CPI at each processor count.
+
+        Figure drivers pass measurements from the memory-hierarchy
+        simulation; tests may pass analytic curves.  ``gc_threads``
+        models the future-work what-if the paper's GC findings invite:
+        a parallel collector divides the stop-the-world demand (the
+        paper's JVM, HotSpot 1.3.1, is strictly single-threaded).
+        """
+        if gc_threads < 1:
+            raise ConfigError("gc_threads must be >= 1")
+        self.params = params
+        self.cpi_fn = cpi_fn
+        self.gc_threads = gc_threads
+        self._r1 = self._mutator_rate(1)
+        # Collector demand per operation, sized so the single-processor
+        # run spends ``gc_fraction_1p`` of its time collecting.
+        x1_guess = self._r1  # first-order: X(1) ~ R(1)
+        self._gc_demand = params.gc_fraction_1p / x1_guess
+        self._x1 = self._throughput(1)
+
+    # -- core terms ----------------------------------------------------------
+
+    def _mutator_rate(self, p: int) -> float:
+        """Operation rate while mutators run, at ``p`` processors."""
+        if p <= 0:
+            raise ConfigError("n_procs must be positive")
+        pr = self.params
+        work = pr.path_length.instr_per_op(p) * self.cpi_fn(p)
+        work /= 1.0 - pr.kernel.system_fraction(p)
+        utilization = 1.0 - pr.contention.idle_fraction(p) - pr.io_fraction
+        if utilization <= 0:
+            raise ConfigError("utilization collapsed to zero; check parameters")
+        return p * utilization / work
+
+    def _throughput(self, p: int) -> float:
+        """Sustained rate with the collector keeping up: R / (1 + R d)."""
+        rate = self._mutator_rate(p)
+        demand = self._gc_demand / min(self.gc_threads, p)
+        return rate / (1.0 + rate * demand)
+
+    def gc_wall_fraction(self, p: int) -> float:
+        """Stop-the-world fraction of wall-clock time at ``p``."""
+        return self._throughput(p) * self._gc_demand / min(self.gc_threads, p)
+
+    # -- outputs --------------------------------------------------------------
+
+    def point(self, p: int) -> ScalingPoint:
+        """Model outputs at ``p`` processors."""
+        pr = self.params
+        x = self._throughput(p)
+        g = self.gc_wall_fraction(p)
+        idle = pr.contention.idle_fraction(p)
+        sys_frac = pr.kernel.system_fraction(p)
+        busy = 1.0 - idle - pr.io_fraction
+        mutator_share = 1.0 - g
+        modes = ModeBreakdown.from_components(
+            user=mutator_share * busy * (1.0 - sys_frac) + g * (1.0 / p),
+            system=mutator_share * busy * sys_frac,
+            io=mutator_share * pr.io_fraction,
+            gc_idle=g * max(0, p - min(self.gc_threads, p)) / p,
+            other_idle=mutator_share * idle,
+        )
+        return ScalingPoint(
+            n_procs=p,
+            speedup=x / self._x1,
+            speedup_no_gc=self._mutator_rate(p) / self._r1,
+            cpi=self.cpi_fn(p),
+            path_relative=pr.path_length.relative(p),
+            modes=modes,
+        )
+
+    def curve(self, procs: list[int]) -> list[ScalingPoint]:
+        """Model outputs across a processor sweep."""
+        return [self.point(p) for p in procs]
+
+    def peak(self, procs: list[int]) -> ScalingPoint:
+        """The sweep's best-throughput point."""
+        return max(self.curve(procs), key=lambda pt: pt.speedup)

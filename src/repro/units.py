@@ -1,0 +1,68 @@
+"""Size and time unit helpers.
+
+The paper quotes cache sizes in KB/MB, latencies in cycles and
+nanoseconds (248 MHz UltraSPARC II), and throughput in operations per
+minute.  Centralizing conversions keeps magic numbers out of the
+simulator and makes configs self-describing.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Clock frequency of the Sun E6000's UltraSPARC II processors.
+E6000_CLOCK_HZ = 248_000_000
+
+
+def kb(n: float) -> int:
+    """Return ``n`` kilobytes in bytes."""
+    return int(n * KB)
+
+
+def mb(n: float) -> int:
+    """Return ``n`` megabytes in bytes."""
+    return int(n * MB)
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Return log2 of a positive power of two, or raise ValueError."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float = E6000_CLOCK_HZ) -> float:
+    """Convert a cycle count to seconds at the given clock."""
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float = E6000_CLOCK_HZ) -> float:
+    """Convert seconds to cycles at the given clock."""
+    return seconds * clock_hz
+
+
+def ns_to_cycles(ns: float, clock_hz: float = E6000_CLOCK_HZ) -> float:
+    """Convert nanoseconds to (fractional) cycles at the given clock."""
+    return ns * 1e-9 * clock_hz
+
+
+def format_size(nbytes: int) -> str:
+    """Render a byte count the way the paper labels cache sizes.
+
+    >>> format_size(65536)
+    '64 KB'
+    >>> format_size(1048576)
+    '1 MB'
+    """
+    if nbytes >= MB and nbytes % MB == 0:
+        return f"{nbytes // MB} MB"
+    if nbytes >= KB and nbytes % KB == 0:
+        return f"{nbytes // KB} KB"
+    return f"{nbytes} B"

@@ -1,0 +1,52 @@
+"""Synthetic middleware workload models.
+
+The paper measures two Java middleware benchmarks; the reproduction
+models them as generators of multi-threaded memory reference streams
+whose structure matches what the paper reports:
+
+- :class:`~repro.workloads.specjbb.SpecJbbWorkload` — SPECjbb2000:
+  all three tiers in one JVM, warehouses as in-memory object trees,
+  one thread per warehouse, live data growing linearly with the
+  warehouse count;
+- :class:`~repro.workloads.ecperf.EcperfWorkload` — ECperf's middle
+  tier: servlet + EJB code paths (large instruction footprint), a
+  shared bean cache (wide sharing, fixed footprint), database and
+  supplier tiers across the network (kernel time).
+"""
+
+from repro.workloads.base import StreamBuilder, TraceBundle, Workload, os_background_trace
+from repro.workloads.codepath import CODE_REGION_BASE, CodeLayout, CodeSegment
+from repro.workloads.database import EmulatedDatabase, WarehouseData
+from repro.workloads.driver import BBopCounter, DriverModel
+from repro.workloads.ecperf import EcperfWorkload
+from repro.workloads.mix import (
+    ECPERF_MIX,
+    SPECJBB_MIX,
+    EcperfTxnType,
+    JbbTxnType,
+    pick_txn,
+)
+from repro.workloads.specjbb import SpecJbbWorkload
+from repro.workloads.volanomark import VolanoMarkWorkload
+
+__all__ = [
+    "StreamBuilder",
+    "TraceBundle",
+    "Workload",
+    "os_background_trace",
+    "CODE_REGION_BASE",
+    "CodeLayout",
+    "CodeSegment",
+    "EmulatedDatabase",
+    "WarehouseData",
+    "BBopCounter",
+    "DriverModel",
+    "EcperfWorkload",
+    "ECPERF_MIX",
+    "SPECJBB_MIX",
+    "EcperfTxnType",
+    "JbbTxnType",
+    "pick_txn",
+    "SpecJbbWorkload",
+    "VolanoMarkWorkload",
+]

@@ -1,0 +1,273 @@
+"""Workload interface and the per-processor stream builder.
+
+A workload turns (processor count, simulation config, RNG) into a
+:class:`TraceBundle`: one encoded reference stream per processor plus
+instruction counts and metadata.  The :class:`StreamBuilder` is the
+small emission API the concrete workloads compose — fetch bursts,
+loads/stores, lock round-trips, tree descents, allocation runs —
+keeping every workload's generator readable while the emitted streams
+stay flat lists of ints for the simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.config import SimConfig
+from repro.errors import WorkloadError
+from repro.jvm.heap import AllocationCursor
+from repro.jvm.objects import ObjectTree
+from repro.memsys.block import LOAD, STORE, encode_ref
+from repro.rng import RngFactory
+from repro.workloads.codepath import CodeLayout
+
+
+@dataclass
+class TraceBundle:
+    """Generated reference streams for one measurement interval."""
+
+    workload: str
+    per_cpu: list[list[int]]
+    instructions: list[int]
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.per_cpu)
+
+    @property
+    def total_refs(self) -> int:
+        return sum(len(t) for t in self.per_cpu)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instructions)
+
+    def merged(self) -> list[int]:
+        """All streams concatenated (for uniprocessor sweeps)."""
+        merged: list[int] = []
+        for trace in self.per_cpu:
+            merged.extend(trace)
+        return merged
+
+
+class StreamBuilder:
+    """Accumulates one processor's reference stream."""
+
+    #: Per-instruction frequency of loads and stores accompanying
+    #: straight-line code (locals, spilled registers, field reads the
+    #: actions do not model explicitly).  SPARC integer code issues a
+    #: memory operation roughly every third instruction.
+    LOADS_PER_INSTR = 0.25
+    STORES_PER_INSTR = 0.10
+
+    def __init__(self, rng: np.random.Generator, stack_base: int = 0xF000_0000) -> None:
+        self.rng = rng
+        self.refs: list[int] = []
+        self.instructions = 0
+        self.stack_base = stack_base
+        self._frame_cursor = 0
+        self._code_prev = None
+
+    def set_stack(self, stack_base: int) -> None:
+        """Switch the active thread context (its stack frames)."""
+        self.stack_base = stack_base
+        self._code_prev = None  # a context switch breaks fetch locality
+
+    # -- instruction side ---------------------------------------------------
+
+    def code_burst(self, layout: CodeLayout, mean_burst_instr: int = 100) -> None:
+        """Emit one hotness-weighted fetch burst plus its local data traffic.
+
+        The burst's loads/stores land in the active thread's stack
+        window — hot, private lines that mostly hit in the L1, exactly
+        like real locals — so per-1000-instruction miss rates are
+        denominated against a realistic reference mix.
+        """
+        refs, n_instr, self._code_prev = layout.burst(
+            self.rng, mean_burst_instr, prev=self._code_prev
+        )
+        self.refs.extend(refs)
+        self.instructions += n_instr
+        rng = self.rng
+        n_loads = int(n_instr * self.LOADS_PER_INSTR)
+        n_stores = int(n_instr * self.STORES_PER_INSTR)
+        # Locals cycle within a ~2 KB window of live frames.
+        window = self.stack_base + (self._frame_cursor % 4) * 512
+        self._frame_cursor += 1
+        for _ in range(n_loads):
+            offset = int(rng.integers(0, 64)) * 8
+            self.refs.append(encode_ref(window + offset, LOAD))
+        for _ in range(n_stores):
+            offset = int(rng.integers(0, 64)) * 8
+            self.refs.append(encode_ref(window + offset, STORE))
+
+    def code_bursts(
+        self, layout: CodeLayout, n: int, mean_burst_instr: int = 100
+    ) -> None:
+        for _ in range(n):
+            self.code_burst(layout, mean_burst_instr)
+
+    # -- data side ------------------------------------------------------------
+
+    def load(self, addr: int) -> None:
+        self.refs.append(encode_ref(addr, LOAD))
+
+    def store(self, addr: int) -> None:
+        self.refs.append(encode_ref(addr, STORE))
+
+    def rmw(self, addr: int) -> None:
+        """Read-modify-write (lock word, counter): load then store."""
+        self.refs.append(encode_ref(addr, LOAD))
+        self.refs.append(encode_ref(addr, STORE))
+
+    def scan(self, base: int, nbytes: int, stride: int = 64, write: bool = False) -> None:
+        """Sequential sweep over a buffer (marshalling, copying)."""
+        kind = STORE if write else LOAD
+        for offset in range(0, nbytes, stride):
+            self.refs.append(encode_ref(base + offset, kind))
+
+    def object_access(self, addr: int, n_fields: int = 2, write_fields: int = 0) -> None:
+        """Touch an object: read a few fields, optionally write some.
+
+        Field offsets land within the object's first 64 bytes, so one
+        object access typically costs one cache line.
+        """
+        for i in range(n_fields):
+            self.refs.append(encode_ref(addr + 8 * (i + 1), LOAD))
+        for i in range(write_fields):
+            self.refs.append(encode_ref(addr + 8 * (i + 1), STORE))
+
+    def tree_descent(
+        self,
+        tree: ObjectTree,
+        skew: float = 0.0,
+        write_leaf: bool = False,
+        hot_fraction: float | None = None,
+        hot_prob: float = 0.9,
+    ) -> int:
+        """Descend a database object tree to a leaf; returns the leaf address.
+
+        Interior nodes are read (two fields per node: key compare +
+        child pointer); the leaf is read and optionally updated.  When
+        ``hot_fraction`` is given, leaves come from the tree's hot
+        working set with probability ``hot_prob`` (see
+        :meth:`ObjectTree.hot_leaf`); otherwise selection follows
+        ``skew``.
+        """
+        if hot_fraction is not None:
+            leaf_index = tree.hot_leaf(self.rng, hot_fraction, hot_prob)
+        else:
+            leaf_index = tree.random_leaf(self.rng, skew=skew)
+        path = tree.path_to_leaf(leaf_index)
+        for node_addr in path[:-1]:
+            self.refs.append(encode_ref(node_addr + 8, LOAD))
+            self.refs.append(encode_ref(node_addr + 16, LOAD))
+        leaf = path[-1]
+        self.refs.append(encode_ref(leaf + 8, LOAD))
+        self.refs.append(encode_ref(leaf + 24, LOAD))
+        if write_leaf:
+            self.refs.append(encode_ref(leaf + 16, STORE))
+        return leaf
+
+    def allocate(self, cursor: AllocationCursor, nbytes: int, stride: int = 64) -> int:
+        """Bump-allocate and initialize ``nbytes``; returns the address.
+
+        Initializing stores touch every ``stride`` bytes — the
+        compulsory-miss "allocation wall" of Java workloads.
+        """
+        addr = cursor.allocate(nbytes)
+        for offset in range(0, nbytes, stride):
+            self.refs.append(encode_ref(addr + offset, STORE))
+        return addr
+
+    def stack_work(self, stack_base: int, frames: int = 2) -> None:
+        """Hot, private stack traffic for a call subtree."""
+        for frame in range(frames):
+            base = stack_base + frame * 96
+            self.refs.append(encode_ref(base, STORE))
+            self.refs.append(encode_ref(base + 32, STORE))
+            self.refs.append(encode_ref(base, LOAD))
+
+
+def code_sweep_refs(layout: CodeLayout) -> list[int]:
+    """Fetch every line of every code region once (pre-warm preamble).
+
+    The paper measures steady-state intervals of long-running
+    benchmarks, where all hot code has long been resident in the L2.
+    Workloads prepend this sweep (plus hot-data sweeps) to each
+    processor's trace; it is consumed inside the warmup window, so
+    measured rates never charge first-touch misses on code that would
+    be warm in any real run.
+    """
+    from repro.memsys.block import IFETCH
+
+    refs: list[int] = []
+    for segment in layout.segments:
+        for offset in range(0, segment.code_bytes, 32):
+            refs.append(encode_ref(segment.base + offset, IFETCH))
+    return refs
+
+
+def region_sweep_refs(base: int, nbytes: int, stride: int = 64) -> list[int]:
+    """Read every line of a data region once (pre-warm preamble)."""
+    return [encode_ref(base + off, LOAD) for off in range(0, nbytes, stride)]
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """What the characterization framework needs from a workload."""
+
+    name: str
+
+    def generate(
+        self, n_procs: int, sim: SimConfig, rng_factory: RngFactory
+    ) -> TraceBundle:
+        """Reference streams for ``n_procs`` application processors."""
+        ...
+
+    def live_memory_mb(self, scale: int) -> float:
+        """Live heap (MB) after GC at benchmark scale ``scale`` (Figure 11)."""
+        ...
+
+
+#: Kernel text and shared kernel data used by the background OS stream.
+_KERNEL_CODE_BASE = 0x0100_0000
+_KERNEL_DATA_BASE = 0x0180_0000
+
+
+def os_background_trace(
+    rng: np.random.Generator, n_refs: int, shared_lines: list[int] | None = None
+) -> list[int]:
+    """A light operating-system reference stream.
+
+    The paper observes cache-to-cache transfers even in 1-processor
+    runs because Solaris keeps running on processors outside the
+    processor set and snoops on the bound processor (Section 4.3).
+    This stream models that background: kernel code fetches, kernel
+    data, and occasional touches of lines the application also uses
+    (run queues, network buffers) passed in as ``shared_lines``.
+    """
+    if n_refs < 0:
+        raise WorkloadError("n_refs must be non-negative")
+    from repro.memsys.block import IFETCH  # local to keep module header lean
+
+    refs: list[int] = []
+    shared = shared_lines or []
+    while len(refs) < n_refs:
+        # A short kernel code run.
+        base = _KERNEL_CODE_BASE + int(rng.integers(0, 2048)) * 32
+        for i in range(8):
+            refs.append(encode_ref(base + i * 32, IFETCH))
+        # Kernel data touches.
+        for _ in range(3):
+            addr = _KERNEL_DATA_BASE + int(rng.integers(0, 4096)) * 64
+            refs.append(encode_ref(addr, LOAD))
+        if shared and float(rng.random()) < 0.3:
+            addr = shared[int(rng.integers(0, len(shared)))]
+            refs.append(encode_ref(addr, LOAD))
+            refs.append(encode_ref(addr, STORE))
+    return refs[:n_refs]

@@ -1,0 +1,154 @@
+"""Emulated databases.
+
+SPECjbb replaces the database tier with "trees of Java objects"
+(Section 2.1); :class:`EmulatedDatabase` lays those trees out in the
+old generation, one 24 MB slot per warehouse, so live data grows
+linearly with the warehouse count (Figure 11).
+
+ECperf's database runs on a separate machine; the application server
+only sees JDBC traffic.  :class:`DatabaseTier` models what the middle
+tier touches per round trip: the connection-pool slot and a private
+marshalling buffer — plus the time cost used by the throughput model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, WorkloadError
+from repro.jvm.objects import ObjectTree
+from repro.units import mb
+from repro.workloads import layout
+
+
+@dataclass(frozen=True)
+class WarehouseData:
+    """One warehouse's object trees."""
+
+    warehouse_id: int
+    stock: ObjectTree
+    customers: ObjectTree
+    orders: ObjectTree
+    history: ObjectTree
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.stock.total_bytes
+            + self.customers.total_bytes
+            + self.orders.total_bytes
+            + self.history.total_bytes
+        )
+
+    def trees(self) -> list[ObjectTree]:
+        return [self.stock, self.customers, self.orders, self.history]
+
+
+def _tree_stagger(warehouse_id: int, tree_index: int) -> int:
+    """Pseudo-random sub-megabyte offset for a tree's base address.
+
+    Warehouse slots are 24 MB apart and tree offsets sit at whole
+    megabytes; without a stagger, every warehouse's tree roots would
+    map to the *same* cache sets (indices come from address bits below
+    1 MB) and conflict-thrash pathologically.  Real heaps place
+    objects wherever allocation happened to put them, so we perturb
+    each tree base by a deterministic sub-MB amount.
+    """
+    return ((warehouse_id * 7919 + tree_index * 1543) % 1789) * 512
+
+
+def _warehouse_trees(warehouse_id: int) -> WarehouseData:
+    """Lay out one warehouse's trees inside its old-generation slot."""
+    base = layout.WAREHOUSE_BASE + warehouse_id * layout.WAREHOUSE_STRIDE
+    stock = ObjectTree(
+        base=base + _tree_stagger(warehouse_id, 0),
+        fanout=20,
+        depth=4,
+        node_size=512,
+        name=f"wh{warehouse_id}.stock",
+    )
+    customers = ObjectTree(
+        base=base + mb(6) + _tree_stagger(warehouse_id, 1),
+        fanout=16,
+        depth=4,
+        node_size=512,
+        name=f"wh{warehouse_id}.customers",
+    )
+    orders = ObjectTree(
+        base=base + mb(10) + _tree_stagger(warehouse_id, 2),
+        fanout=16,
+        depth=4,
+        node_size=512,
+        name=f"wh{warehouse_id}.orders",
+    )
+    history = ObjectTree(
+        base=base + mb(14) + _tree_stagger(warehouse_id, 3),
+        fanout=16,
+        depth=4,
+        node_size=384,
+        name=f"wh{warehouse_id}.history",
+    )
+    data = WarehouseData(
+        warehouse_id=warehouse_id,
+        stock=stock,
+        customers=customers,
+        orders=orders,
+        history=history,
+    )
+    if data.total_bytes > layout.WAREHOUSE_STRIDE:
+        raise ConfigError(
+            f"warehouse trees ({data.total_bytes} B) exceed the "
+            f"{layout.WAREHOUSE_STRIDE} B warehouse slot"
+        )
+    return data
+
+
+class EmulatedDatabase:
+    """SPECjbb's in-memory database: one tree set per warehouse."""
+
+    def __init__(self, warehouses: int) -> None:
+        if not 1 <= warehouses <= layout.MAX_WAREHOUSES:
+            raise WorkloadError(
+                f"warehouses must be in [1, {layout.MAX_WAREHOUSES}], got {warehouses}"
+            )
+        self.warehouses = warehouses
+        self.data = [_warehouse_trees(w) for w in range(warehouses)]
+        self.item_tree = ObjectTree(
+            base=layout.ITEM_TREE_BASE, fanout=20, depth=3, node_size=256, name="items"
+        )
+
+    def warehouse(self, warehouse_id: int) -> WarehouseData:
+        if not 0 <= warehouse_id < self.warehouses:
+            raise WorkloadError(f"warehouse {warehouse_id} out of range")
+        return self.data[warehouse_id]
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of live warehouse data (plus the shared item tree)."""
+        return sum(w.total_bytes for w in self.data) + self.item_tree.total_bytes
+
+    @property
+    def bytes_per_warehouse(self) -> int:
+        return self.data[0].total_bytes
+
+
+@dataclass(frozen=True)
+class DatabaseTier:
+    """The remote database, as the application server experiences it."""
+
+    mean_roundtrip_s: float = 2.5e-3
+    rows_per_result: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mean_roundtrip_s <= 0 or self.rows_per_result <= 0:
+            raise ConfigError("roundtrip time and rows must be positive")
+
+    def marshal_buffer_addr(self, tid: int) -> int:
+        """Per-thread JDBC marshalling buffer."""
+        if tid < 0:
+            raise ConfigError("tid must be non-negative")
+        return layout.MARSHAL_BUFFER_BASE + tid * layout.MARSHAL_BUFFER_STRIDE
+
+    def result_bytes(self) -> int:
+        """Bytes of result data marshalled per round trip."""
+        return self.rows_per_result * 384

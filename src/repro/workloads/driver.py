@@ -1,0 +1,63 @@
+"""Client-driver model and throughput accounting.
+
+ECperf's driver spawns threads modeling customers and manufacturers;
+each high-level action is a "Benchmark Business Operation" (BBop) and
+performance is BBops/minute (Section 2.2).  The paper relaxes the
+90%-response-time requirement and tunes for maximum throughput; the
+model does the same — the driver offers load, the server's capacity
+(from the throughput model) caps what is absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, WorkloadError
+
+
+@dataclass
+class BBopCounter:
+    """Counts completed operations and converts to rates."""
+
+    completed: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def record(self, txn_name: str, n: int = 1) -> None:
+        if n < 0:
+            raise WorkloadError("cannot record a negative operation count")
+        self.completed += n
+        self.by_type[txn_name] = self.by_type.get(txn_name, 0) + n
+
+    def bbops_per_minute(self, elapsed_s: float) -> float:
+        if elapsed_s <= 0:
+            raise WorkloadError("elapsed time must be positive")
+        return 60.0 * self.completed / elapsed_s
+
+
+@dataclass(frozen=True)
+class DriverModel:
+    """Offered load from the driver tier.
+
+    ``orders_per_ir_per_s`` converts the Orders Injection Rate into
+    offered operations per second; think time shapes concurrency.
+    """
+
+    injection_rate: int = 8
+    orders_per_ir_per_s: float = 2.5
+    think_time_s: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.injection_rate < 1:
+            raise ConfigError("injection_rate must be >= 1")
+        if self.orders_per_ir_per_s <= 0 or self.think_time_s < 0:
+            raise ConfigError("rates must be positive, think time non-negative")
+
+    @property
+    def offered_ops_per_s(self) -> float:
+        return self.injection_rate * self.orders_per_ir_per_s
+
+    def required_concurrency(self, service_time_s: float) -> float:
+        """Little's law: concurrent requests to sustain the offered load."""
+        if service_time_s <= 0:
+            raise ConfigError("service_time_s must be positive")
+        return self.offered_ops_per_s * (service_time_s + self.think_time_s)

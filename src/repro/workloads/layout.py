@@ -1,0 +1,110 @@
+"""Simulated address-space map.
+
+Every region the workload generators emit addresses into is declared
+here, with an overlap check the test suite runs.  The map loosely
+follows a Solaris/HotSpot process image: kernel low, application text
+above it, then the Java heap (new generation, then the old generation
+where long-lived data like SPECjbb's warehouse trees lives), with
+thread stacks at the top.
+
+Layout (one address space per simulated machine)::
+
+    0x0100_0000  kernel text / kernel data
+    0x0800_0000  shared runtime structures (locks, pools, counters)
+    0x0A00_0000  per-thread marshalling buffers
+    0x0B00_0000  per-thread session objects
+    0x0C00_0000  bean cache (ECperf object-level cache)
+    0x1000_0000  application + middleware text
+    0x2000_0000  new generation (400 MB)
+    0x5000_0000  SPECjbb global item tree (shared, read-mostly)
+    0x6000_0000  old generation: warehouse data (24 MB stride per warehouse)
+    0xF000_0000  thread stacks (1 MB per thread)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import kb, mb
+
+KERNEL_TEXT_BASE = 0x0100_0000
+KERNEL_DATA_BASE = 0x0180_0000
+
+#: Shared runtime structures — the hot, contended lines.
+SHARED_BASE = 0x0800_0000
+GLOBAL_HEAP_LOCK = SHARED_BASE + 0x00  # JVM-wide allocation/monitor lock
+COMPANY_LOCK = SHARED_BASE + 0x40  # SPECjbb company-level lock
+COMPANY_TOTALS = SHARED_BASE + 0x80  # SPECjbb company counters
+CONN_POOL_LOCK = SHARED_BASE + 0xC0  # ECperf connection-pool lock
+THREAD_POOL_QUEUE = SHARED_BASE + 0x100  # ECperf execution-queue head
+POOL_SLOTS_BASE = SHARED_BASE + 0x1000  # per-connection slot records
+NET_BUFFER_POOL = SHARED_BASE + 0x8000  # kernel network buffer pool
+RUNQUEUE_BASE = SHARED_BASE + 0x7000  # per-CPU scheduler run queues
+
+MARSHAL_BUFFER_BASE = 0x0A00_0000
+MARSHAL_BUFFER_STRIDE = kb(16)
+
+SESSION_BASE = 0x0B00_0000
+SESSION_STRIDE = kb(64)
+
+BEAN_CACHE_BASE = 0x0C00_0000
+
+APP_TEXT_BASE = 0x1000_0000
+
+NEW_GEN_BASE = 0x2000_0000
+NEW_GEN_SIZE = mb(400)
+
+ITEM_TREE_BASE = 0x5000_0000
+
+WAREHOUSE_BASE = 0x6000_0000
+WAREHOUSE_STRIDE = mb(24)
+MAX_WAREHOUSES = 40
+
+STACK_BASE = 0xF000_0000
+STACK_STRIDE = mb(1)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named address range (end exclusive)."""
+
+    name: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise ConfigError(f"region {self.name}: invalid range")
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+def address_map() -> list[Region]:
+    """The full region list, ordered by start address."""
+    return [
+        Region("kernel_text", KERNEL_TEXT_BASE, KERNEL_TEXT_BASE + mb(4)),
+        Region("kernel_data", KERNEL_DATA_BASE, KERNEL_DATA_BASE + mb(4)),
+        Region("shared_runtime", SHARED_BASE, SHARED_BASE + mb(1)),
+        Region("marshal_buffers", MARSHAL_BUFFER_BASE, MARSHAL_BUFFER_BASE + mb(8)),
+        Region("sessions", SESSION_BASE, SESSION_BASE + mb(16)),
+        Region("bean_cache", BEAN_CACHE_BASE, BEAN_CACHE_BASE + mb(32)),
+        Region("app_text", APP_TEXT_BASE, APP_TEXT_BASE + mb(16)),
+        Region("new_gen", NEW_GEN_BASE, NEW_GEN_BASE + NEW_GEN_SIZE),
+        Region("item_tree", ITEM_TREE_BASE, ITEM_TREE_BASE + mb(16)),
+        Region(
+            "warehouses",
+            WAREHOUSE_BASE,
+            WAREHOUSE_BASE + MAX_WAREHOUSES * WAREHOUSE_STRIDE,
+        ),
+        Region("stacks", STACK_BASE, STACK_BASE + 64 * STACK_STRIDE),
+    ]
+
+
+def check_no_overlaps() -> None:
+    """Raise ConfigError if any two regions overlap (test hook)."""
+    regions = sorted(address_map(), key=lambda r: r.start)
+    for a, b in zip(regions, regions[1:]):
+        if a.overlaps(b):
+            raise ConfigError(f"regions {a.name} and {b.name} overlap")

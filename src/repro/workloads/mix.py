@@ -1,0 +1,230 @@
+"""Transaction mixes.
+
+SPECjbb's operation mix follows its TPC-C heritage (Section 2.1):
+NewOrder and Payment dominate, with OrderStatus, Delivery and
+StockLevel filling out the mix.  ECperf's "Benchmark Business
+Operations" (BBops) span its four domains (Section 2.2): customer
+orders dominate, with manufacturing work orders scheduled alongside
+and supplier purchase orders triggered as inventory drains.
+
+Each type carries the knobs its generator lowers into references:
+how many tree descents / bean lookups, how many leaf updates, how
+much allocation, which locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class JbbTxnType:
+    """One SPECjbb operation type."""
+
+    name: str
+    weight: float
+    tree_visits: int  # B-tree descents into warehouse data
+    leaf_writes: int  # descents that update the leaf (sparse updates)
+    item_lookups: int  # reads of the global (shared) item tree
+    alloc_bytes: int  # new-generation allocation per operation
+    code_bursts: int  # instruction bursts per operation
+    company_update: bool  # touches the company-level shared counters
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError(f"{self.name}: weight must be positive")
+        if self.leaf_writes > self.tree_visits:
+            raise ConfigError(f"{self.name}: more leaf writes than visits")
+
+
+#: The SPECjbb operation mix (TPC-C-like weights).
+SPECJBB_MIX: list[JbbTxnType] = [
+    JbbTxnType(
+        name="new_order",
+        weight=0.44,
+        tree_visits=5,
+        leaf_writes=2,
+        item_lookups=3,
+        alloc_bytes=128,
+        code_bursts=16,
+        company_update=True,
+    ),
+    JbbTxnType(
+        name="payment",
+        weight=0.43,
+        tree_visits=3,
+        leaf_writes=2,
+        item_lookups=0,
+        alloc_bytes=64,
+        code_bursts=10,
+        company_update=True,
+    ),
+    JbbTxnType(
+        name="order_status",
+        weight=0.04,
+        tree_visits=3,
+        leaf_writes=0,
+        item_lookups=0,
+        alloc_bytes=64,
+        code_bursts=8,
+        company_update=False,
+    ),
+    JbbTxnType(
+        name="delivery",
+        weight=0.05,
+        tree_visits=6,
+        leaf_writes=3,
+        item_lookups=0,
+        alloc_bytes=64,
+        code_bursts=12,
+        company_update=False,
+    ),
+    JbbTxnType(
+        name="stock_level",
+        weight=0.04,
+        tree_visits=8,
+        leaf_writes=0,
+        item_lookups=4,
+        alloc_bytes=96,
+        code_bursts=12,
+        company_update=False,
+    ),
+]
+
+
+@dataclass(frozen=True)
+class EcperfTxnType:
+    """One ECperf BBop as seen by the application server."""
+
+    name: str
+    domain: str  # customer / manufacturing / supplier / corporate
+    weight: float
+    bean_lookups: int  # object-cache lookups
+    bean_updates: int  # bean-state writes (shared dirty lines)
+    db_roundtrips_on_miss: int  # JDBC round trips when the cache misses
+    supplier_xml: bool  # exchanges an XML document with the supplier
+    alloc_bytes: int
+    servlet_bursts: int  # presentation-layer instruction bursts
+    container_bursts: int  # EJB container + bean instruction bursts
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigError(f"{self.name}: weight must be positive")
+        if self.domain not in ("customer", "manufacturing", "supplier", "corporate"):
+            raise ConfigError(f"{self.name}: unknown domain {self.domain!r}")
+
+
+#: The ECperf BBop mix across its four domains.
+ECPERF_MIX: list[EcperfTxnType] = [
+    EcperfTxnType(
+        name="new_order",
+        domain="customer",
+        weight=0.30,
+        bean_lookups=8,
+        bean_updates=3,
+        db_roundtrips_on_miss=2,
+        supplier_xml=False,
+        alloc_bytes=64,
+        servlet_bursts=5,
+        container_bursts=14,
+    ),
+    EcperfTxnType(
+        name="change_order",
+        domain="customer",
+        weight=0.12,
+        bean_lookups=6,
+        bean_updates=2,
+        db_roundtrips_on_miss=2,
+        supplier_xml=False,
+        alloc_bytes=64,
+        servlet_bursts=4,
+        container_bursts=11,
+    ),
+    EcperfTxnType(
+        name="order_status",
+        domain="customer",
+        weight=0.14,
+        bean_lookups=6,
+        bean_updates=0,
+        db_roundtrips_on_miss=1,
+        supplier_xml=False,
+        alloc_bytes=64,
+        servlet_bursts=3,
+        container_bursts=6,
+    ),
+    EcperfTxnType(
+        name="customer_status",
+        domain="customer",
+        weight=0.10,
+        bean_lookups=5,
+        bean_updates=0,
+        db_roundtrips_on_miss=1,
+        supplier_xml=False,
+        alloc_bytes=64,
+        servlet_bursts=3,
+        container_bursts=5,
+    ),
+    EcperfTxnType(
+        name="schedule_workorder",
+        domain="manufacturing",
+        weight=0.18,
+        bean_lookups=7,
+        bean_updates=4,
+        db_roundtrips_on_miss=2,
+        supplier_xml=False,
+        alloc_bytes=64,
+        servlet_bursts=3,
+        container_bursts=13,
+    ),
+    EcperfTxnType(
+        name="complete_workorder",
+        domain="manufacturing",
+        weight=0.10,
+        bean_lookups=6,
+        bean_updates=4,
+        db_roundtrips_on_miss=1,
+        supplier_xml=False,
+        alloc_bytes=64,
+        servlet_bursts=3,
+        container_bursts=11,
+    ),
+    EcperfTxnType(
+        name="send_purchase_order",
+        domain="supplier",
+        weight=0.04,
+        bean_lookups=4,
+        bean_updates=2,
+        db_roundtrips_on_miss=1,
+        supplier_xml=True,
+        alloc_bytes=256,
+        servlet_bursts=2,
+        container_bursts=12,
+    ),
+    EcperfTxnType(
+        name="deliver_purchase_order",
+        domain="supplier",
+        weight=0.02,
+        bean_lookups=4,
+        bean_updates=3,
+        db_roundtrips_on_miss=1,
+        supplier_xml=True,
+        alloc_bytes=128,
+        servlet_bursts=2,
+        container_bursts=11,
+    ),
+]
+
+
+def pick_txn(rng: np.random.Generator, mix: list) -> "JbbTxnType | EcperfTxnType":
+    """Sample a transaction type proportionally to its weight."""
+    if not mix:
+        raise ConfigError("empty transaction mix")
+    weights = np.array([t.weight for t in mix], dtype=float)
+    cumulative = np.cumsum(weights / weights.sum())
+    u = float(rng.random())
+    index = int(np.searchsorted(cumulative, u, side="right"))
+    return mix[min(index, len(mix) - 1)]

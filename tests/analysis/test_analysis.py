@@ -1,0 +1,135 @@
+"""Distribution and curve analysis helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    CommunicationFootprint,
+    MissCurve,
+    cumulative_share,
+    mean_std,
+    relative_change,
+)
+from repro.analysis.stats import geometric_mean
+from repro.errors import AnalysisError
+from repro.memsys.multisim import MissCurvePoint
+
+
+def test_cumulative_share_basic():
+    assert cumulative_share([6, 3, 1]) == [0.6, 0.9, 1.0]
+    assert cumulative_share([]) == []
+    assert cumulative_share([0, 0]) == [0.0, 0.0]
+    with pytest.raises(AnalysisError):
+        cumulative_share([-1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(counts=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+def test_cumulative_share_properties(counts):
+    shares = cumulative_share(counts)
+    assert len(shares) == len(counts)
+    assert all(a <= b + 1e-12 for a, b in zip(shares, shares[1:]))
+    if sum(counts) > 0:
+        assert shares[-1] == pytest.approx(1.0)
+
+
+def make_footprint() -> CommunicationFootprint:
+    return CommunicationFootprint(
+        c2c_by_line={1: 50, 2: 30, 3: 15, 4: 5}, touched_lines=1000
+    )
+
+
+def test_footprint_stats():
+    fp = make_footprint()
+    assert fp.total_transfers == 100
+    assert fp.hottest_line_share() == pytest.approx(0.5)
+    assert fp.communicating_fraction == pytest.approx(0.004)
+    assert fp.share_from_top_fraction(0.001) == pytest.approx(0.5)
+    assert fp.lines_for_share(0.79) == 2
+    assert fp.lines_for_share(0.81) == 3
+    assert fp.lines_for_share(1.0) == 4
+
+
+def test_footprint_cdfs():
+    fp = make_footprint()
+    pct = fp.cdf_percent_of_touched()
+    assert pct[0] == (pytest.approx(0.1), pytest.approx(0.5))
+    assert pct[-1][0] == 100.0
+    absolute = fp.cdf_absolute_lines()
+    assert absolute == [
+        (1, pytest.approx(0.5)),
+        (2, pytest.approx(0.8)),
+        (3, pytest.approx(0.95)),
+        (4, pytest.approx(1.0)),
+    ]
+
+
+def test_footprint_validation():
+    with pytest.raises(AnalysisError):
+        CommunicationFootprint(c2c_by_line={1: 1, 2: 1}, touched_lines=1)
+    fp = make_footprint()
+    with pytest.raises(AnalysisError):
+        fp.share_from_top_fraction(0.0)
+    with pytest.raises(AnalysisError):
+        fp.lines_for_share(0.0)
+
+
+def test_empty_footprint():
+    fp = CommunicationFootprint(c2c_by_line={}, touched_lines=0)
+    assert fp.hottest_line_share() == 0.0
+    assert fp.communicating_fraction == 0.0
+    assert fp.cdf_percent_of_touched() == []
+
+
+def curve_from(mpkis) -> MissCurve:
+    points = [
+        MissCurvePoint(size=1024 * (2**i), accesses=100, misses=0, mpki=m)
+        for i, m in enumerate(mpkis)
+    ]
+    return MissCurve.from_points("t", points)
+
+
+def test_miss_curve_monotonic_check():
+    assert curve_from([5.0, 3.0, 1.0]).is_monotonic_nonincreasing()
+    assert not curve_from([5.0, 6.0, 1.0]).is_monotonic_nonincreasing()
+    assert curve_from([5.0, 5.04, 1.0]).is_monotonic_nonincreasing(tolerance=0.05)
+
+
+def test_miss_curve_knee():
+    curve = curve_from([5.0, 2.0, 0.5])
+    assert curve.knee_size(1.0) == 4096
+    assert curve.knee_size(0.1) is None
+
+
+def test_miss_curve_lookup_and_validation():
+    curve = curve_from([5.0, 2.0])
+    assert curve.mpki_at(1024) == 5.0
+    with pytest.raises(AnalysisError):
+        curve.mpki_at(999)
+    with pytest.raises(AnalysisError):
+        MissCurve(label="x", points=())
+    assert "misses/1000" in curve.describe()
+
+
+def test_mean_std():
+    mu, sigma = mean_std([2.0, 4.0, 6.0])
+    assert mu == pytest.approx(4.0)
+    assert sigma == pytest.approx(2.0)
+    assert mean_std([5.0]) == (5.0, 0.0)
+    with pytest.raises(AnalysisError):
+        mean_std([])
+
+
+def test_relative_change():
+    assert relative_change(2.0, 2.5) == pytest.approx(0.25)
+    with pytest.raises(AnalysisError):
+        relative_change(0.0, 1.0)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    with pytest.raises(AnalysisError):
+        geometric_mean([1.0, -1.0])
+    with pytest.raises(AnalysisError):
+        geometric_mean([])

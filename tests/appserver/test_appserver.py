@@ -1,0 +1,119 @@
+"""Application-server substrate: pools, bean cache, container."""
+
+import numpy as np
+import pytest
+
+from repro.appserver.beancache import BeanCache
+from repro.appserver.connpool import ConnectionPool
+from repro.appserver.container import ApplicationServer, CodeRegionSpec
+from repro.appserver.ejb import ECPERF_BEAN_REGIONS, all_bean_regions, ejb_container_regions
+from repro.appserver.servlet import servlet_regions
+from repro.appserver.threadpool import ThreadPool
+from repro.errors import ConfigError, SimulationError
+
+
+def test_thread_pool_exhaustion():
+    pool = ThreadPool(size=2)
+    assert pool.try_acquire() and pool.try_acquire()
+    assert not pool.try_acquire()
+    assert pool.rejection_ratio == pytest.approx(1 / 3)
+    pool.release()
+    assert pool.try_acquire()
+    assert pool.peak_in_use == 2
+
+
+def test_thread_pool_release_guard():
+    pool = ThreadPool(size=1)
+    with pytest.raises(SimulationError):
+        pool.release()
+
+
+def test_kernel_overhead_factor():
+    assert ThreadPool.kernel_overhead_factor(16, 8) == 1.0
+    assert ThreadPool.kernel_overhead_factor(128, 8) > 1.2
+    with pytest.raises(ConfigError):
+        ThreadPool.kernel_overhead_factor(0, 8)
+
+
+def test_connection_pool_blocking():
+    pool = ConnectionPool(size=1)
+    assert pool.try_acquire()
+    assert not pool.try_acquire()
+    assert pool.block_ratio == pytest.approx(0.5)
+    pool.release()
+    with pytest.raises(SimulationError):
+        pool.release()
+        pool.release()
+
+
+def test_wait_fraction_shape():
+    light = ConnectionPool.wait_fraction(2, 8, 0.5)
+    heavy = ConnectionPool.wait_fraction(15, 8, 0.8)
+    assert light < 0.05
+    assert heavy > 0.2
+    assert ConnectionPool.wait_fraction(4, 8, 0.0) == 0.0
+    with pytest.raises(ConfigError):
+        ConnectionPool.wait_fraction(0, 8, 0.5)
+
+
+def test_bean_cache_hit_rate_interference():
+    cache = BeanCache()
+    assert cache.hit_rate(1) == cache.single_thread_hit_rate
+    rates = [cache.hit_rate(n) for n in (1, 2, 4, 8, 24)]
+    assert all(a < b for a, b in zip(rates, rates[1:]))
+    assert rates[-1] <= cache.max_hit_rate
+    with pytest.raises(ConfigError):
+        cache.hit_rate(0)
+
+
+def test_bean_cache_lookup_addresses():
+    cache = BeanCache(capacity_beans=1024, bean_size=256)
+    rng = np.random.default_rng(3)
+    hits = [cache.lookup(rng, n_threads=24) for _ in range(500)]
+    addrs = [a for a in hits if a is not None]
+    assert addrs, "expected some hits"
+    for addr in addrs:
+        assert cache.base_addr <= addr < cache.base_addr + cache.footprint_bytes
+    assert 0.5 < cache.observed_hit_rate <= 1.0
+
+
+def test_bean_cache_footprint_fixed():
+    cache = BeanCache(capacity_beans=100, bean_size=256)
+    assert cache.footprint_bytes == 25_600
+    with pytest.raises(ConfigError):
+        cache.bean_addr(100)
+
+
+def test_bean_cache_validation():
+    with pytest.raises(ConfigError):
+        BeanCache(capacity_beans=0)
+    with pytest.raises(ConfigError):
+        BeanCache(single_thread_hit_rate=0.9, max_hit_rate=0.5)
+
+
+def test_code_region_spec():
+    spec = CodeRegionSpec("x", instructions=1000, hotness=2.0)
+    assert spec.code_bytes == 4000
+    with pytest.raises(ConfigError):
+        CodeRegionSpec("bad", instructions=0)
+    with pytest.raises(ConfigError):
+        CodeRegionSpec("bad", instructions=10, hotness=0)
+
+
+def test_application_server_tuning():
+    server = ApplicationServer.tuned_for(8)
+    assert server.threads.size == 24
+    assert server.connections.size == 16
+    with pytest.raises(ConfigError):
+        ApplicationServer.tuned_for(0)
+
+
+def test_code_inventories():
+    container = ejb_container_regions()
+    beans = all_bean_regions()
+    servlets = servlet_regions()
+    assert len(beans) == sum(len(v) for v in ECPERF_BEAN_REGIONS.values())
+    server = ApplicationServer()
+    total = server.code_footprint_bytes(container + beans + servlets)
+    # ECperf's middleware code is a few hundred KB of hot text.
+    assert 200_000 < total < 2_000_000

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.rng import RngFactory
+
+
+@pytest.fixture
+def tiny_sim() -> SimConfig:
+    """A simulation config small enough for unit tests."""
+    return SimConfig(seed=7, refs_per_proc=8_000, warmup_fraction=0.25)
+
+
+@pytest.fixture
+def small_sim() -> SimConfig:
+    """A config large enough for coarse behavioral assertions."""
+    return SimConfig(seed=7, refs_per_proc=40_000, warmup_fraction=0.5)
+
+
+@pytest.fixture
+def rng_factory() -> RngFactory:
+    return RngFactory(seed=99)

@@ -1,0 +1,39 @@
+"""High-level characterization API."""
+
+from repro.core.characterize import characterize
+from repro.core.config import SimConfig
+
+SIM = SimConfig(seed=9, refs_per_proc=30_000, warmup_fraction=0.5)
+
+
+def test_characterize_specjbb():
+    report = characterize("specjbb", n_procs=2, sim=SIM)
+    assert report.workload == "specjbb"
+    assert report.n_procs == 2
+    assert report.l1d_mpki > 0
+    assert 0.0 <= report.c2c_ratio <= 1.0
+    assert 1.3 < report.cpi.total < 5.0
+    text = report.render()
+    assert "CPI (total)" in text and "specjbb" in text
+
+
+def test_characterize_workloads_differ():
+    jbb = characterize("specjbb", n_procs=2, sim=SIM)
+    ec = characterize("ecperf", n_procs=2, sim=SIM)
+    assert ec.code_footprint_kb > jbb.code_footprint_kb
+
+
+def test_quick_characterization_renders():
+    from repro import quick_characterization
+
+    text = quick_characterization("ecperf", n_procs=2)
+    assert "ecperf on 2 processors" in text
+
+
+def test_quick_characterization_warehouse_cap():
+    from repro import quick_characterization
+
+    # Asking for fewer warehouses than processors caps the processor
+    # count (SPECjbb has one thread per warehouse).
+    text = quick_characterization("specjbb", n_procs=4, warehouses=2)
+    assert "specjbb on 2 processors" in text

@@ -1,0 +1,72 @@
+"""Multi-run experiment support (variability methodology)."""
+
+import pytest
+
+from repro.core.experiment import Experiment, MultiRunResult, run_repeated
+from repro.errors import AnalysisError
+
+
+def test_multi_run_result_stats():
+    result = MultiRunResult(name="x", samples=(1.0, 2.0, 3.0))
+    assert result.mean == pytest.approx(2.0)
+    assert result.std == pytest.approx(1.0)
+    lo, hi = result.error_bar
+    assert (lo, hi) == (pytest.approx(1.0), pytest.approx(3.0))
+    assert "±" in str(result)
+    assert "±" not in str(MultiRunResult(name="x", samples=(1.0,)))
+
+
+def test_empty_samples_rejected():
+    with pytest.raises(AnalysisError):
+        MultiRunResult(name="x", samples=())
+
+
+def test_run_repeated_perturbs_runs():
+    def run(factory):
+        return float(factory.stream("noise").random())
+
+    results = run_repeated(run, n_runs=5, seed=3, name="noise")
+    assert results["noise"].n == 5
+    assert results["noise"].std > 0.0
+
+
+def test_run_repeated_mapping_results():
+    def run(factory):
+        u = float(factory.stream("u").random())
+        return {"a": u, "b": 2 * u}
+
+    results = run_repeated(run, n_runs=3)
+    assert set(results) == {"a", "b"}
+    assert results["b"].mean == pytest.approx(2 * results["a"].mean)
+
+
+def test_run_repeated_deterministic_given_seed():
+    def run(factory):
+        return float(factory.stream("u").random())
+
+    a = run_repeated(run, n_runs=4, seed=11)["value"].samples
+    b = run_repeated(run, n_runs=4, seed=11)["value"].samples
+    assert a == b
+
+
+def test_run_repeated_validation():
+    with pytest.raises(AnalysisError):
+        run_repeated(lambda f: 0.0, n_runs=0)
+
+
+def test_inconsistent_quantities_rejected():
+    calls = {"n": 0}
+
+    def run(factory):
+        calls["n"] += 1
+        return {"a": 1.0} if calls["n"] == 1 else {"b": 1.0}
+
+    with pytest.raises(AnalysisError):
+        run_repeated(run, n_runs=2)
+
+
+def test_experiment_wrapper():
+    exp = Experiment(name="demo", fn=lambda f: 42.0, n_runs=2)
+    results = exp.run()
+    assert results["demo"].mean == 42.0
+    assert exp.results is results

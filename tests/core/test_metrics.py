@@ -1,0 +1,49 @@
+"""Metric containers."""
+
+import pytest
+
+from repro.core.metrics import DataStallBreakdown, MissCounters, mpki
+from repro.errors import AnalysisError
+from repro.memsys.misses import MissKind
+
+
+def test_mpki():
+    assert mpki(5, 1000) == 5.0
+    assert mpki(0, 0) == 0.0
+    with pytest.raises(AnalysisError):
+        mpki(-1, 100)
+
+
+def test_miss_counters_ratios():
+    counters = MissCounters(
+        instructions=10_000,
+        l1i_misses=100,
+        l1d_misses=200,
+        l2_misses=50,
+        c2c_fills=20,
+        mem_fills=30,
+    )
+    assert counters.c2c_ratio == pytest.approx(0.4)
+    assert counters.l1i_mpki == pytest.approx(10.0)
+    assert counters.l1d_mpki == pytest.approx(20.0)
+    assert counters.l2_mpki == pytest.approx(5.0)
+    assert set(counters.misses_by_kind) == set(MissKind)
+
+
+def test_empty_counters_safe():
+    counters = MissCounters()
+    assert counters.c2c_ratio == 0.0
+    assert counters.l2_mpki == 0.0
+
+
+def test_data_stall_total_and_names():
+    ds = DataStallBreakdown(
+        store_buffer=0.01,
+        raw_hazard=0.02,
+        l2_hit=0.1,
+        cache_to_cache=0.2,
+        memory=0.15,
+        other=0.02,
+    )
+    assert ds.total == pytest.approx(0.5)
+    assert set(ds.fractions()) == set(ds.component_names())

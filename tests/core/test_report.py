@@ -1,0 +1,48 @@
+"""Text table and plot rendering."""
+
+import pytest
+
+from repro.core.report import ascii_plot, render_table
+from repro.errors import AnalysisError
+
+
+def test_render_table_basic():
+    text = render_table(["a", "b"], [(1, 2.5), ("x", 0.123456)])
+    lines = text.splitlines()
+    assert lines[0].split() == ["a", "b"]
+    assert "2.5" in text
+    assert "0.123" in text
+
+
+def test_render_table_formats():
+    text = render_table(["v"], [(True,), (12345.6,), (0.00001,)])
+    assert "yes" in text
+    assert "1.23e+04" in text or "12345" in text
+    assert "1e-05" in text
+
+
+def test_render_table_validation():
+    with pytest.raises(AnalysisError):
+        render_table([], [])
+    with pytest.raises(AnalysisError):
+        render_table(["a"], [(1, 2)])
+
+
+def test_ascii_plot_linear():
+    text = ascii_plot({"s": [(0, 0), (1, 1), (2, 4)]}, width=20, height=8)
+    assert "*" in text
+    assert "s" in text.splitlines()[-1]
+
+
+def test_ascii_plot_log():
+    text = ascii_plot(
+        {"a": [(64, 10), (1024, 1)], "b": [(64, 5), (1024, 2)]},
+        logx=True,
+    )
+    assert "(log)" in text
+    assert "o=b" in text
+
+
+def test_ascii_plot_empty():
+    with pytest.raises(AnalysisError):
+        ascii_plot({"s": []})

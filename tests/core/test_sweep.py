@@ -1,0 +1,37 @@
+"""Parameter-sweep helper."""
+
+import pytest
+
+from repro.core.sweep import SweepResult, sweep
+from repro.errors import AnalysisError
+
+
+def test_sweep_basic():
+    result = sweep("n", [1, 2, 3], lambda n: float(n * n), metric="square")
+    assert result.values() == [1.0, 4.0, 9.0]
+    assert result.at(2) == 4.0
+    assert result.argbest() == 1
+    assert result.argbest(maximize=True) == 3
+
+
+def test_monotonicity_checks():
+    up = sweep("n", [1, 2, 3], float)
+    assert up.is_monotonic(increasing=True)
+    assert not up.is_monotonic(increasing=False)
+    bumpy = sweep("n", [1, 2, 3], lambda n: [1.0, 3.0, 2.95][n - 1])
+    assert bumpy.is_monotonic(increasing=True, tolerance=0.1)
+
+
+def test_render():
+    text = sweep("k", ["a", "b"], lambda k: 1.0).render()
+    assert "k" in text and "a" in text
+
+
+def test_validation():
+    with pytest.raises(AnalysisError):
+        sweep("n", [], float)
+    result = sweep("n", [1], float)
+    with pytest.raises(AnalysisError):
+        result.at(9)
+    with pytest.raises(AnalysisError):
+        SweepResult(knob="n", metric="m", points=())

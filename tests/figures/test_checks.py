@@ -1,0 +1,123 @@
+"""Figure shape-check functions, exercised on fabricated results.
+
+The checks guard the benchmark suite; these tests guard the checks —
+a paper-shaped result must pass, a counter-shaped one must fail.
+"""
+
+from repro.figures import (
+    fig04_scaling,
+    fig08_c2c_ratio,
+    fig11_memory_use,
+    fig16_sharedcache,
+)
+from repro.figures.common import FigureResult
+
+
+def fig04_result(ec_peak_at=12):
+    procs = [1, 2, 4, 6, 8, 10, 12, 14, 15]
+    ec = {1: 1.0, 2: 2.3, 4: 5.0, 6: 7.2, 8: 8.6, 10: 9.4, 12: 9.9, 14: 9.6, 15: 9.3}
+    jbb = {1: 1.0, 2: 1.8, 4: 3.2, 6: 4.5, 8: 5.6, 10: 6.4, 12: 6.9, 14: 7.2, 15: 7.3}
+    if ec_peak_at != 12:  # deform: monotone growth, no peak
+        ec = {p: float(p) for p in procs}
+    rows = [("ecperf", p, ec[p], 1.0) for p in procs]
+    rows += [("specjbb", p, jbb[p], 1.0) for p in procs]
+    return FigureResult(
+        figure_id="fig04",
+        title="t",
+        columns=["workload", "procs", "speedup", "rel"],
+        rows=rows,
+        paper_claim="",
+        series={
+            "ecperf": [(p, ec[p]) for p in procs],
+            "specjbb": [(p, jbb[p]) for p in procs],
+        },
+    )
+
+
+def test_fig04_checks_accept_paper_shape():
+    assert all(ok for _, ok in fig04_scaling.checks(fig04_result()))
+
+
+def test_fig04_checks_reject_linear_ecperf():
+    checks = dict(fig04_scaling.checks(fig04_result(ec_peak_at=None)))
+    assert not checks["ecperf degrades past its peak"]
+
+
+def fig08_result(jbb_flat=False):
+    procs = [1, 2, 4, 6, 8, 10, 12, 14]
+    ec = {1: 0.02, 2: 0.28, 4: 0.44, 6: 0.51, 8: 0.54, 10: 0.57, 12: 0.59, 14: 0.60}
+    jbb = {1: 0.01, 2: 0.20, 4: 0.36, 6: 0.42, 8: 0.45, 10: 0.47, 12: 0.48, 14: 0.49}
+    if jbb_flat:
+        jbb = {p: 0.10 for p in procs}
+        jbb[1] = 0.0
+    rows = [("ecperf", p, ec[p], 1000) for p in procs]
+    rows += [("specjbb", p, jbb[p], 1000) for p in procs]
+    return FigureResult(
+        figure_id="fig08",
+        title="t",
+        columns=["workload", "procs", "c2c ratio", "L2 misses"],
+        rows=rows,
+        paper_claim="",
+        series={
+            "ecperf": [(p, ec[p]) for p in procs],
+            "specjbb": [(p, jbb[p]) for p in procs],
+        },
+    )
+
+
+def test_fig08_checks_accept_paper_shape():
+    assert all(ok for _, ok in fig08_c2c_ratio.checks(fig08_result()))
+
+
+def test_fig08_checks_reject_flat_curve():
+    checks = dict(fig08_c2c_ratio.checks(fig08_result(jbb_flat=True)))
+    assert not checks["specjbb: ratio @14p above 35%"]
+    assert not checks["specjbb: ratio > 0 at 1p (OS effect)"]
+
+
+def test_fig11_checks_reject_linear_ecperf():
+    scales = list(range(1, 41))
+    rows = [(s, 58 + 11.8 * min(s, 30) - 4 * max(0, s - 30), 50 + 10.0 * s) for s in scales]
+    result = FigureResult(
+        figure_id="fig11",
+        title="t",
+        columns=["scale", "specjbb MB", "ecperf MB"],
+        rows=rows,
+        paper_claim="",
+        series={
+            "specjbb": [(s, r[1]) for s, r in zip(scales, rows)],
+            "ecperf": [(s, r[2]) for s, r in zip(scales, rows)],
+        },
+    )
+    checks = dict(fig11_memory_use.checks(result))
+    assert not checks["ecperf roughly flat 10..40"]
+
+
+def fig16_result(jbb_likes_sharing=False):
+    ec = {1: 5.2, 2: 4.6, 4: 3.7, 8: 2.4}
+    jbb = {1: 3.0, 2: 3.1, 4: 3.4, 8: 3.9}
+    if jbb_likes_sharing:
+        jbb = {1: 3.9, 2: 3.4, 4: 3.1, 8: 3.0}
+    rows = [("ecperf", k, 8 // k, v, 0.1) for k, v in ec.items()]
+    rows += [("specjbb-25", k, 8 // k, v, 0.1) for k, v in jbb.items()]
+    return FigureResult(
+        figure_id="fig16",
+        title="t",
+        columns=["workload", "procs/L2", "n caches", "data MPKI", "c2c ratio"],
+        rows=rows,
+        paper_claim="",
+        series={
+            "ecperf": list(ec.items()),
+            "specjbb-25": list(jbb.items()),
+        },
+    )
+
+
+def test_fig16_checks_accept_paper_shape():
+    assert all(ok for _, ok in fig16_sharedcache.checks(fig16_result()))
+
+
+def test_fig16_checks_reject_uniform_sharing_win():
+    checks = dict(fig16_sharedcache.checks(fig16_result(jbb_likes_sharing=True)))
+    assert not checks["specjbb-25: fully shared loses to private"]
+    assert not checks["opposite design conclusions"]

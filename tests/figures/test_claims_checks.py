@@ -1,0 +1,50 @@
+"""Headline-claims driver check logic (fabricated inputs)."""
+
+from repro.figures import claims
+from repro.figures.common import FigureResult
+
+
+def claims_result(overrides=None):
+    values = {
+        ("working_set_90pct_kb", "specjbb"): 2.0,
+        ("working_set_90pct_kb", "ecperf"): 3.0,
+        ("c2c_miss_fraction_14p", "specjbb"): 0.49,
+        ("c2c_miss_fraction_14p", "ecperf"): 0.60,
+        ("instr_footprint_kb", "specjbb"): 217.0,
+        ("instr_footprint_kb", "ecperf"): 807.0,
+        ("live_memory_growth_5_to_25", "specjbb"): 3.2,
+        ("live_memory_growth_5_to_25", "ecperf"): 1.14,
+        ("shared_over_private_mpki", "ecperf"): 0.49,
+        ("shared_over_private_mpki", "specjbb-25"): 1.43,
+    }
+    values.update(overrides or {})
+    rows = [(metric, wl, v) for (metric, wl), v in values.items()]
+    return FigureResult(
+        figure_id="claims",
+        title="t",
+        columns=["claim metric", "workload", "value"],
+        rows=rows,
+        paper_claim="",
+    )
+
+
+def test_paper_shaped_values_pass():
+    assert all(ok for _, ok in claims.checks(claims_result()))
+
+
+def test_flat_specjbb_growth_fails():
+    result = claims_result({("live_memory_growth_5_to_25", "specjbb"): 1.1})
+    checks = dict(claims.checks(result))
+    assert not checks["SPECjbb data grows ~linearly, ECperf stays flat"]
+
+
+def test_small_instruction_gap_fails():
+    result = claims_result({("instr_footprint_kb", "ecperf"): 300.0})
+    checks = dict(claims.checks(result))
+    assert not checks["ECperf instruction footprint >2x SPECjbb's"]
+
+
+def test_sharing_helping_specjbb_fails():
+    result = claims_result({("shared_over_private_mpki", "specjbb-25"): 0.9})
+    checks = dict(claims.checks(result))
+    assert not checks["shared 1 MB helps ECperf, hurts SPECjbb-25"]

@@ -1,0 +1,59 @@
+"""Figure scaffolding: workload construction, CPI interpolation."""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.errors import ConfigError
+from repro.figures.common import (
+    FigureResult,
+    make_workload,
+    measured_cpi_fn,
+    simulate_multiprocessor,
+    workload_for_procs,
+)
+
+SIM = SimConfig(seed=13, refs_per_proc=20_000, warmup_fraction=0.5)
+
+
+def test_make_workload():
+    assert make_workload("specjbb", 5).warehouses == 5
+    assert make_workload("ecperf", 5).injection_rate == 5
+    with pytest.raises(ConfigError):
+        make_workload("tpcc")
+
+
+def test_workload_for_procs_scales_specjbb():
+    assert workload_for_procs("specjbb", 6).warehouses == 6
+    assert workload_for_procs("ecperf", 6).injection_rate == 6
+
+
+def test_os_processor_adds_a_cache():
+    plain = simulate_multiprocessor(workload_for_procs("specjbb", 2), 2, SIM)
+    with_os = simulate_multiprocessor(
+        workload_for_procs("specjbb", 2), 2, SIM, include_os_processor=True
+    )
+    assert len(with_os.bus.caches) == len(plain.bus.caches) + 1
+
+
+def test_measured_cpi_fn_interpolates():
+    cpi = measured_cpi_fn("specjbb", SIM, anchor_procs=(1, 4))
+    assert cpi(1) > 1.0
+    assert cpi(4) >= cpi(1) * 0.8
+    mid = cpi(2)
+    lo, hi = sorted((cpi(1), cpi(4)))
+    assert lo - 1e-9 <= mid <= hi + 1e-9
+    # Clamped outside the anchors.
+    assert cpi(16) == cpi(4)
+
+
+def test_figure_result_render():
+    result = FigureResult(
+        figure_id="figXX",
+        title="demo",
+        columns=["a"],
+        rows=[(1,)],
+        paper_claim="claim",
+        notes="note",
+    )
+    text = result.render()
+    assert "figXX" in text and "claim" in text and "note" in text

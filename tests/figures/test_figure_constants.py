@@ -1,0 +1,45 @@
+"""Figure-driver constants must match the paper's experimental setup."""
+
+from repro.figures import fig08_c2c_ratio, fig10_c2c_timeline, fig12_icache
+from repro.figures.common import PAPER_PROC_SWEEP
+from repro.figures.fig11_memory_use import SCALES
+from repro.figures.fig16_sharedcache import N_PROCS, SHARING
+from repro.units import kb, mb
+
+
+def test_proc_sweep_matches_paper_axis():
+    """Figures 4-7 sweep 1..15 processors on the 16-CPU E6000 (one CPU
+    is left to the OS, hence 15 not 16)."""
+    assert PAPER_PROC_SWEEP[0] == 1
+    assert PAPER_PROC_SWEEP[-1] == 15
+    assert PAPER_PROC_SWEEP == sorted(PAPER_PROC_SWEEP)
+
+
+def test_fig8_sweep_reaches_fourteen():
+    assert fig08_c2c_ratio.C2C_SWEEP[-1] == 14  # the paper's last point
+
+
+def test_fig10_has_three_collections():
+    """The paper's window contains three garbage collections."""
+    gc_bins = sorted(fig10_c2c_timeline.GC_BINS)
+    runs = 1
+    for a, b in zip(gc_bins, gc_bins[1:]):
+        if b != a + 1:
+            runs += 1
+    assert runs == 3
+    assert max(gc_bins) < fig10_c2c_timeline.N_BINS
+
+
+def test_fig12_axis_is_64kb_to_16mb_4way_64b():
+    sizes = fig12_icache.CACHE_SIZES
+    assert sizes[0] == kb(64)
+    assert sizes[-1] == mb(16)
+    assert sizes == sorted(sizes)
+    labels = [label for label, _, _ in fig12_icache.CONFIGS]
+    assert labels == ["ecperf", "specjbb-25", "specjbb-10", "specjbb-1"]
+
+
+def test_fig16_is_the_paper_cmp_matrix():
+    """8 processors; 1, 2, 4 and 8 processors per shared 1 MB L2."""
+    assert N_PROCS == 8
+    assert SHARING == [1, 2, 4, 8]

@@ -1,0 +1,127 @@
+"""Figure drivers: structural smoke tests at reduced effort.
+
+Full shape checks against the paper run in ``benchmarks/`` at figure
+effort; here each driver must produce well-formed results quickly.
+The analytic figures (4, 5, 9, 11) are cheap enough to check fully.
+"""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.figures import (
+    fig04_scaling,
+    fig05_modes,
+    fig08_c2c_ratio,
+    fig09_gc_speedup,
+    fig10_c2c_timeline,
+    fig11_memory_use,
+    fig12_icache,
+    fig13_dcache,
+    fig14_c2c_cdf,
+    fig15_c2c_footprint,
+    fig16_sharedcache,
+)
+from repro.figures import fig06_cpi, fig07_datastall
+
+TINY = SimConfig(seed=42, refs_per_proc=25_000, warmup_fraction=0.5)
+
+
+def assert_well_formed(result, n_min_rows=2):
+    assert result.figure_id.startswith("fig")
+    assert len(result.rows) >= n_min_rows
+    for row in result.rows:
+        assert len(row) == len(result.columns)
+    text = result.render()
+    assert result.figure_id in text
+    assert "paper:" in text
+
+
+def test_fig11_full_checks():
+    result = fig11_memory_use.run()
+    assert_well_formed(result, n_min_rows=40)
+    assert all(ok for _, ok in fig11_memory_use.checks(result))
+
+
+def test_fig04_structure_and_monotone_prefix():
+    result = fig04_scaling.run(TINY)
+    assert_well_formed(result)
+    ec = dict(result.series["ecperf"])
+    # Speedup rises from 1 processor regardless of simulation effort.
+    assert ec[1] == pytest.approx(1.0)
+    assert ec[4] > ec[2] > ec[1]
+
+
+def test_fig05_modes_normalized():
+    result = fig05_modes.run(TINY)
+    assert_well_formed(result)
+    for row in result.rows:
+        assert sum(row[2:]) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_fig06_small_sweep():
+    result = fig06_cpi.run(TINY, sweep=[1, 2])
+    assert_well_formed(result)
+    for row in result.rows:
+        assert 1.0 < row[2] < 6.0  # CPI plausible even at tiny effort
+
+
+def test_fig07_small_sweep():
+    result = fig07_datastall.run(TINY, sweep=[1, 2])
+    assert_well_formed(result)
+    for row in result.rows:
+        shares = row[2:7]
+        assert all(-1e-9 <= s <= 1.0 for s in shares)
+
+
+def test_fig08_small_sweep():
+    result = fig08_c2c_ratio.run(TINY, sweep=[1, 2, 4])
+    assert_well_formed(result)
+    ratios = dict(result.series["specjbb"])
+    assert 0.0 <= ratios[4] <= 1.0
+    assert ratios[4] > ratios[1]
+
+
+def test_fig09_no_gc_dominates():
+    result = fig09_gc_speedup.run(TINY)
+    assert_well_formed(result)
+    assert all(ok for _, ok in fig09_gc_speedup.checks(result))
+
+
+def test_fig10_gc_bins_quiet():
+    result = fig10_c2c_timeline.run(TINY)
+    assert_well_formed(result, n_min_rows=30)
+    gc_rates = [row[3] for row in result.rows if row[1]]
+    mut_rates = [row[3] for row in result.rows if not row[1]]
+    assert max(gc_rates) < sum(mut_rates) / len(mut_rates)
+
+
+def test_fig12_fig13_curve_shapes():
+    r12 = fig12_icache.run(TINY)
+    r13 = fig13_dcache.run(TINY)
+    for result in (r12, r13):
+        assert_well_formed(result, n_min_rows=20)
+        for label, points in result.series.items():
+            mpkis = [m for _, m in points]
+            assert all(m >= 0 for m in mpkis), label
+            # Broad monotonicity: the largest cache misses least.
+            assert mpkis[-1] <= mpkis[0] + 0.5
+
+
+def test_fig14_fig15_distributions():
+    r14 = fig14_c2c_cdf.run(TINY)
+    assert_well_formed(r14)
+    for row in r14.rows:
+        assert 0.0 <= row[1] <= 1.0
+        assert 0.0 <= row[3] <= 1.0
+    r15 = fig15_c2c_footprint.run(TINY)
+    assert_well_formed(r15)
+    for row in r15.rows:
+        assert row[1] <= row[2] <= row[3] <= row[4]
+
+
+def test_fig16_structure():
+    result = fig16_sharedcache.run(TINY)
+    assert_well_formed(result, n_min_rows=8)
+    for row in result.rows:
+        assert row[1] * row[2] == 8  # procs/L2 times cache count
+        assert row[3] >= 0

@@ -1,0 +1,83 @@
+"""Generational collector model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.jvm.gc import GenerationalCollector
+from repro.jvm.heap import GenerationalHeap, HeapLayout
+from repro.memsys.block import LOAD, STORE, decode_ref
+from repro.units import mb
+
+
+def test_collect_accounting():
+    heap = GenerationalHeap(HeapLayout(new_gen_size=mb(4)))
+    cursor = heap.cursor(share=1.0)
+    gc = GenerationalCollector(survival_fraction=0.1, promotion_fraction=0.5)
+    for _ in range(4):
+        cursor.allocate(mb(1))
+    event = gc.collect(heap)
+    assert event.bytes_copied == int(mb(4) * 0.1)
+    assert event.bytes_promoted == int(mb(4) * 0.1 * 0.5)
+    assert not event.compacting
+    assert heap.old_gen_used == event.bytes_promoted
+    assert heap.allocated_since_gc == 0
+    assert gc.total_gc_seconds == pytest.approx(event.duration_s)
+
+
+def test_compaction_triggers_on_old_gen_pressure():
+    heap = GenerationalHeap(HeapLayout(new_gen_size=mb(4), old_gen_size=mb(16)))
+    heap.cursor(share=1.0)
+    gc = GenerationalCollector(fragmentation=1.3, compaction_trigger=0.5)
+    heap.old_gen_used = mb(8)  # 8 * 1.3 > 0.5 * 16
+    assert gc.is_compacting(heap)
+    heap.allocated_since_gc = mb(4)
+    event = gc.collect(heap)
+    assert event.compacting
+    # Compaction copies the old generation too and is slower.
+    assert event.bytes_copied > mb(4) * gc.survival_fraction
+
+
+def test_gc_time_fraction():
+    gc = GenerationalCollector(copy_rate=100e6, survival_fraction=0.05)
+    frac = gc.gc_time_fraction(alloc_rate=50e6, new_gen_size=mb(400))
+    assert 0.0 < frac < 0.05
+    with pytest.raises(ConfigError):
+        gc.gc_time_fraction(alloc_rate=0, new_gen_size=mb(1))
+
+
+def test_serial_idle_fraction():
+    assert GenerationalCollector.serial_idle_fraction(1, 0.5) == 0.0
+    assert GenerationalCollector.serial_idle_fraction(4, 0.2) == pytest.approx(0.15)
+    with pytest.raises(ConfigError):
+        GenerationalCollector.serial_idle_fraction(0, 0.1)
+    with pytest.raises(ConfigError):
+        GenerationalCollector.serial_idle_fraction(2, 1.5)
+
+
+def test_copy_ref_stream_structure():
+    refs = GenerationalCollector.copy_ref_stream(
+        from_base=0x1000, to_base=0x2000, nbytes=256, stride=64
+    )
+    assert len(refs) == 8  # 4 loads + 4 stores
+    kinds = [decode_ref(r)[1] for r in refs]
+    assert kinds == [LOAD, STORE] * 4
+    addrs = [decode_ref(r)[0] for r in refs]
+    assert addrs[0] == 0x1000 and addrs[1] == 0x2000
+    assert addrs[-2] == 0x1000 + 192
+
+
+def test_copy_ref_stream_validation():
+    with pytest.raises(ConfigError):
+        GenerationalCollector.copy_ref_stream(0, 0, -1)
+    assert GenerationalCollector.copy_ref_stream(0, 0, 0) == []
+
+
+def test_collector_param_validation():
+    with pytest.raises(ConfigError):
+        GenerationalCollector(copy_rate=0)
+    with pytest.raises(ConfigError):
+        GenerationalCollector(survival_fraction=1.0)
+    with pytest.raises(ConfigError):
+        GenerationalCollector(fragmentation=0.9)
+    with pytest.raises(ConfigError):
+        GenerationalCollector(compaction_slowdown=0.5)

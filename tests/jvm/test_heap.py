@@ -1,0 +1,86 @@
+"""Generational heap and allocation cursors."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.jvm.heap import HOTSPOT_131_LAYOUT, GenerationalHeap, HeapLayout
+from repro.units import mb
+
+
+def test_paper_layout():
+    assert HOTSPOT_131_LAYOUT.new_gen_size == mb(400)
+    assert HOTSPOT_131_LAYOUT.total_size == mb(400) + mb(1024)
+
+
+def test_layout_validation():
+    with pytest.raises(ConfigError):
+        HeapLayout(new_gen_base=0x6000_0000, old_gen_base=0x2000_0000)
+    with pytest.raises(ConfigError):
+        HeapLayout(new_gen_size=0)
+
+
+def test_cursor_allocation_is_disjoint():
+    heap = GenerationalHeap()
+    a = heap.cursor(share=0.5)
+    b = heap.cursor(share=0.5)
+    addr_a = a.allocate(64)
+    addr_b = b.allocate(64)
+    assert addr_a != addr_b
+    assert a.base + a.size <= b.base
+
+
+def test_cursor_share_overflow():
+    heap = GenerationalHeap()
+    heap.cursor(share=0.8)
+    with pytest.raises(ConfigError):
+        heap.cursor(share=0.3)
+    with pytest.raises(ConfigError):
+        heap.cursor(share=0.0)
+
+
+def test_allocation_alignment_and_accounting():
+    heap = GenerationalHeap()
+    cursor = heap.cursor(share=0.1)
+    addr = cursor.allocate(13)
+    assert addr % 8 == 0
+    assert heap.allocated_since_gc == 16  # rounded up
+    assert cursor.used == 16
+
+
+def test_allocation_wraps_within_slice():
+    heap = GenerationalHeap(HeapLayout(new_gen_size=mb(1)))
+    cursor = heap.cursor(share=1.0)
+    first = cursor.allocate(512 * 1024)
+    cursor.allocate(512 * 1024)
+    wrapped = cursor.allocate(512 * 1024)
+    assert wrapped == first
+
+
+def test_oversized_allocation_rejected():
+    heap = GenerationalHeap(HeapLayout(new_gen_size=mb(1)))
+    cursor = heap.cursor(share=0.5)
+    with pytest.raises(ConfigError):
+        cursor.allocate(mb(1))
+    with pytest.raises(ConfigError):
+        cursor.allocate(0)
+
+
+def test_gc_pressure_and_reset():
+    heap = GenerationalHeap(HeapLayout(new_gen_size=mb(1)))
+    cursor = heap.cursor(share=1.0)
+    for _ in range(4):
+        cursor.allocate(256 * 1024)
+    assert heap.gc_pressure() == pytest.approx(1.0)
+    assert heap.needs_gc()
+    heap.reset_new_gen()
+    assert heap.allocated_since_gc == 0
+    assert heap.gc_count == 1
+
+
+def test_live_delta_guard():
+    heap = GenerationalHeap()
+    heap.note_live_delta(100)
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        heap.note_live_delta(-200)

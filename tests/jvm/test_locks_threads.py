@@ -1,0 +1,59 @@
+"""Locks and threads."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.jvm.locks import LockSite, contended_wait_fraction
+from repro.jvm.threads import STACK_SLOT, JavaThread, ThreadRegistry
+from repro.memsys.block import LOAD, STORE, decode_ref
+
+
+def test_lock_site_refs():
+    lock = LockSite(addr=0x8000, name="company")
+    acquire = lock.acquire_refs()
+    assert [decode_ref(r)[1] for r in acquire] == [LOAD, STORE]
+    assert all(decode_ref(r)[0] == 0x8000 for r in acquire)
+    release = lock.release_refs()
+    assert [decode_ref(r)[1] for r in release] == [STORE]
+
+
+def test_contention_zero_cases():
+    assert contended_wait_fraction(1, 0.5) == 0.0
+    assert contended_wait_fraction(8, 0.0) == 0.0
+
+
+def test_contention_grows_with_procs():
+    waits = [contended_wait_fraction(p, 0.08) for p in (2, 4, 8, 16)]
+    assert all(a <= b for a, b in zip(waits, waits[1:]))
+    assert waits[-1] < 0.96
+
+
+def test_contention_validation():
+    with pytest.raises(ConfigError):
+        contended_wait_fraction(0, 0.1)
+    with pytest.raises(ConfigError):
+        contended_wait_fraction(2, 1.0)
+
+
+def test_thread_stack_addresses_disjoint():
+    registry = ThreadRegistry(n_procs=4)
+    threads = [registry.spawn() for _ in range(8)]
+    bases = [t.stack_base for t in threads]
+    assert len(set(bases)) == 8
+    # Round-robin CPU binding.
+    assert [t.cpu for t in threads] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert registry.threads_on(0) == [threads[0], threads[4]]
+
+
+def test_stack_addr_bounds():
+    thread = JavaThread(tid=1, cpu=0)
+    assert thread.stack_addr(0) == thread.stack_base
+    with pytest.raises(ConfigError):
+        thread.stack_addr(STACK_SLOT)
+
+
+def test_registry_validation():
+    with pytest.raises(ConfigError):
+        ThreadRegistry(0)
+    with pytest.raises(ConfigError):
+        JavaThread(tid=-1, cpu=0)

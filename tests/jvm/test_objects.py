@@ -1,0 +1,103 @@
+"""Object layout and object-tree arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.jvm.objects import DEFAULT_LAYOUT, ObjectLayout, ObjectTree
+
+
+def test_instance_size_alignment():
+    layout = ObjectLayout()
+    assert layout.instance_size(0) == 16
+    assert layout.instance_size(1) == 24
+    assert layout.instance_size(2, n_scalar_bytes=4) == 40  # 16+16+4 -> 40
+    with pytest.raises(ConfigError):
+        layout.instance_size(-1)
+
+
+def test_tree_counts():
+    tree = ObjectTree(base=0, fanout=4, depth=3, node_size=64)
+    assert tree.n_leaves == 16
+    assert tree.n_nodes == 21
+    assert tree.total_bytes == 21 * 64
+
+
+def test_level_offsets():
+    tree = ObjectTree(base=1000, fanout=4, depth=3, node_size=64)
+    assert tree.level_offset(0) == 0
+    assert tree.level_offset(1) == 64
+    assert tree.level_offset(2) == 5 * 64
+    with pytest.raises(ConfigError):
+        tree.level_offset(3)
+
+
+def test_node_addr_bounds():
+    tree = ObjectTree(base=0, fanout=4, depth=2, node_size=64)
+    assert tree.node_addr(0, 0) == 0
+    assert tree.node_addr(1, 3) == 64 + 3 * 64
+    with pytest.raises(ConfigError):
+        tree.node_addr(1, 4)
+
+
+def test_path_to_leaf_is_ancestor_chain():
+    tree = ObjectTree(base=0, fanout=4, depth=3, node_size=64)
+    path = tree.path_to_leaf(13)
+    assert len(path) == 3
+    assert path[0] == tree.node_addr(0, 0)
+    assert path[1] == tree.node_addr(1, 13 // 4)
+    assert path[2] == tree.node_addr(2, 13)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ObjectTree(base=0, fanout=1, depth=3, node_size=64)
+    with pytest.raises(ConfigError):
+        ObjectTree(base=0, fanout=4, depth=0, node_size=64)
+    with pytest.raises(ConfigError):
+        ObjectTree(base=0, fanout=4, depth=3, node_size=60)
+
+
+def test_random_leaf_skew_concentrates():
+    tree = ObjectTree(base=0, fanout=10, depth=4, node_size=64)
+    rng = np.random.default_rng(1)
+    uniform = [tree.random_leaf(rng, skew=0.0) for _ in range(2000)]
+    skewed = [tree.random_leaf(rng, skew=6.0) for _ in range(2000)]
+    assert np.mean(skewed) < np.mean(uniform) / 3
+
+
+def test_hot_leaf_mostly_in_hot_set():
+    tree = ObjectTree(base=0, fanout=10, depth=4, node_size=64)
+    rng = np.random.default_rng(2)
+    hot_span = int(0.05 * tree.n_leaves)
+    draws = [tree.hot_leaf(rng, hot_fraction=0.05, hot_prob=0.9) for _ in range(3000)]
+    in_hot = sum(1 for d in draws if d < hot_span)
+    assert 0.85 <= in_hot / len(draws) <= 0.99
+
+
+def test_hot_leaf_validation():
+    tree = ObjectTree(base=0, fanout=4, depth=2, node_size=64)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigError):
+        tree.hot_leaf(rng, hot_fraction=0.0)
+    with pytest.raises(ConfigError):
+        tree.hot_leaf(rng, hot_prob=1.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fanout=st.integers(min_value=2, max_value=12),
+    depth=st.integers(min_value=1, max_value=4),
+    leaf_frac=st.floats(min_value=0.0, max_value=0.999),
+)
+def test_paths_stay_inside_tree(fanout, depth, leaf_frac):
+    tree = ObjectTree(base=4096, fanout=fanout, depth=depth, node_size=64)
+    leaf = min(int(leaf_frac * tree.n_leaves), tree.n_leaves - 1)
+    path = tree.path_to_leaf(leaf)
+    assert len(path) == depth
+    for addr in path:
+        assert tree.base <= addr < tree.base + tree.total_bytes
+    # Node count identity: sum of levels equals the closed form.
+    assert sum(fanout**level for level in range(depth)) == tree.n_nodes

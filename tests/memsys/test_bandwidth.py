@@ -1,0 +1,60 @@
+"""Snooping-bus bandwidth model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsys.bandwidth import BusModel
+
+
+def test_capacity_numbers():
+    bus = BusModel()
+    assert bus.data_bandwidth_bytes_per_s == pytest.approx(83.3e6 * 32)
+    assert bus.snoop_rate_per_s == pytest.approx(83.3e6)
+
+
+def test_utilization_channels():
+    bus = BusModel(bus_clock_hz=100e6, data_bytes_per_cycle=32)
+    # Address-bound: many snoops, no data.
+    assert bus.utilization(50e6, 0) == pytest.approx(0.5)
+    # Data-bound: 64 B per transfer.
+    assert bus.utilization(0, 25e6, block_bytes=64) == pytest.approx(0.5)
+    # Max of the two channels.
+    assert bus.utilization(80e6, 25e6) == pytest.approx(0.8)
+
+
+def test_queueing_slowdown():
+    assert BusModel.queueing_slowdown(0.0) == 1.0
+    assert BusModel.queueing_slowdown(0.5) == 2.0
+    assert BusModel.queueing_slowdown(2.0) == pytest.approx(20.0)  # capped rho
+    with pytest.raises(ConfigError):
+        BusModel.queueing_slowdown(-0.1)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        BusModel(bus_clock_hz=0)
+    with pytest.raises(ConfigError):
+        BusModel().utilization(-1, 0)
+    bus = BusModel()
+    with pytest.raises(ConfigError):
+        bus.utilization_of(None, cpi=0)  # cpi validated before use
+
+
+def test_utilization_of_hierarchy(small_sim, rng_factory):
+    from repro.core.config import e6000_machine
+    from repro.memsys.hierarchy import MemoryHierarchy
+    from repro.workloads.specjbb import SpecJbbWorkload
+
+    bundle = SpecJbbWorkload(warehouses=4).generate(4, small_sim, rng_factory)
+    hierarchy = MemoryHierarchy(e6000_machine(4))
+    hierarchy.run_trace(bundle.per_cpu, warmup_fraction=0.5)
+    util = BusModel().utilization_of(hierarchy, cpi=2.0)
+    assert 0.0 < util < 1.0
+
+
+def test_empty_hierarchy_zero_utilization():
+    from repro.core.config import e6000_machine
+    from repro.memsys.hierarchy import MemoryHierarchy
+
+    hierarchy = MemoryHierarchy(e6000_machine(1))
+    assert BusModel().utilization_of(hierarchy, cpi=2.0) == 0.0

@@ -1,0 +1,48 @@
+"""Reference encoding round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memsys.block import (
+    IFETCH,
+    LOAD,
+    STORE,
+    Ref,
+    decode_ref,
+    encode_ref,
+    is_data_kind,
+    is_write_kind,
+    kind_name,
+)
+
+
+@given(
+    addr=st.integers(min_value=0, max_value=2**40),
+    kind=st.sampled_from([IFETCH, LOAD, STORE]),
+)
+def test_roundtrip(addr, kind):
+    assert decode_ref(encode_ref(addr, kind)) == (addr, kind)
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ValueError):
+        encode_ref(0, 3)
+    with pytest.raises(ValueError):
+        encode_ref(-1, LOAD)
+
+
+def test_kind_predicates():
+    assert is_write_kind(STORE)
+    assert not is_write_kind(LOAD)
+    assert is_data_kind(LOAD)
+    assert is_data_kind(STORE)
+    assert not is_data_kind(IFETCH)
+    assert kind_name(IFETCH) == "ifetch"
+
+
+def test_ref_dataclass():
+    ref = Ref(addr=0x1234, kind=STORE)
+    assert ref.is_write and ref.is_data
+    assert Ref.from_encoded(ref.encoded()) == ref
+    assert ref.block(6) == 0x1234 >> 6

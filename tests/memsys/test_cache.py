@@ -1,0 +1,167 @@
+"""Set-associative cache: LRU, eviction, writeback, stats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memsys.cache import CLEAN, DIRTY, SetAssociativeCache
+from repro.memsys.config import CacheConfig
+
+
+def small_cache(assoc=2, sets=4) -> SetAssociativeCache:
+    return SetAssociativeCache(CacheConfig(size=assoc * sets * 64, assoc=assoc, block=64))
+
+
+def test_cold_miss_then_hit():
+    cache = small_cache()
+    assert cache.access(0, write=False) is False
+    assert cache.access(0, write=False) is True
+    assert cache.stats.accesses == 2
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = small_cache(assoc=2, sets=1)
+    cache.access(0, write=False)
+    cache.access(1, write=False)
+    cache.access(0, write=False)  # refresh 0; 1 becomes LRU
+    cache.access(2, write=False)  # evicts 1
+    assert cache.contains(0)
+    assert not cache.contains(1)
+    assert cache.contains(2)
+
+
+def test_dirty_eviction_counts_writeback():
+    cache = small_cache(assoc=1, sets=1)
+    cache.access(0, write=True)
+    cache.access(1, write=False)  # evicts dirty block 0
+    assert cache.stats.writebacks == 1
+    assert cache.stats.evictions == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = small_cache(assoc=1, sets=1)
+    cache.access(0, write=False)
+    cache.access(1, write=False)
+    assert cache.stats.writebacks == 0
+
+
+def test_write_hit_dirties_line():
+    cache = small_cache(assoc=1, sets=1)
+    cache.access(0, write=False)
+    cache.access(0, write=True)
+    cache.access(1, write=False)  # evicts now-dirty block 0
+    assert cache.stats.writebacks == 1
+
+
+def test_set_mapping_isolation():
+    cache = small_cache(assoc=1, sets=4)
+    # Blocks 0 and 4 map to the same set; 1 maps elsewhere.
+    cache.access(0, write=False)
+    cache.access(1, write=False)
+    cache.access(4, write=False)  # evicts 0, not 1
+    assert not cache.contains(0)
+    assert cache.contains(1)
+
+
+def test_primitive_interface_roundtrip():
+    cache = small_cache()
+    assert cache.probe(10) is None
+    victim = cache.insert(10, "S")
+    assert victim is None
+    assert cache.probe(10) == "S"
+    cache.set_state(10, "M")
+    assert cache.probe(10) == "M"
+    assert cache.remove(10) == "M"
+    assert cache.probe(10) is None
+
+
+def test_set_state_on_absent_line_raises():
+    cache = small_cache()
+    with pytest.raises(KeyError):
+        cache.set_state(123, "M")
+
+
+def test_insert_returns_victim():
+    cache = small_cache(assoc=1, sets=1)
+    cache.insert(0, "M")
+    victim = cache.insert(1, "S")
+    assert victim == (0, "M")
+
+
+def test_occupancy_and_flush():
+    cache = small_cache()
+    for block in range(5):
+        cache.access(block, write=False)
+    assert cache.occupancy() == 5
+    cache.flush()
+    assert cache.occupancy() == 0
+    # Stats survive a flush.
+    assert cache.stats.misses == 5
+
+
+def test_miss_ratio():
+    cache = small_cache()
+    assert cache.stats.miss_ratio == 0.0
+    cache.access(0, write=False)
+    cache.access(0, write=False)
+    assert cache.stats.miss_ratio == pytest.approx(0.5)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        CacheConfig(size=1000, assoc=4, block=64)  # not divisible
+    with pytest.raises(ConfigError):
+        CacheConfig(size=4096, assoc=4, block=48)  # not a power of two
+    with pytest.raises(ConfigError):
+        CacheConfig(size=4096, assoc=4, block=16)  # below 32 B floor
+    with pytest.raises(ConfigError):
+        CacheConfig(size=-1, assoc=4, block=64)
+
+
+class _ReferenceLru:
+    """Brute-force fully-associative-per-set LRU model."""
+
+    def __init__(self, assoc: int, sets: int) -> None:
+        self.assoc = assoc
+        self.sets = [[] for _ in range(sets)]
+        self.n_sets = sets
+
+    def access(self, block: int) -> bool:
+        entries = self.sets[block % self.n_sets]
+        if block in entries:
+            entries.remove(block)
+            entries.append(block)
+            return True
+        if len(entries) >= self.assoc:
+            entries.pop(0)
+        entries.append(block)
+        return False
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    blocks=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=400),
+    assoc=st.sampled_from([1, 2, 4]),
+)
+def test_matches_reference_lru(blocks, assoc):
+    """The dict-based LRU must agree with a brute-force model."""
+    sets = 4
+    cache = SetAssociativeCache(
+        CacheConfig(size=assoc * sets * 64, assoc=assoc, block=64)
+    )
+    reference = _ReferenceLru(assoc=assoc, sets=sets)
+    for block in blocks:
+        assert cache.access(block, write=False) == reference.access(block)
+
+
+@settings(max_examples=40, deadline=None)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300))
+def test_occupancy_never_exceeds_capacity(blocks):
+    cache = small_cache(assoc=2, sets=8)
+    for block in blocks:
+        cache.access(block, write=bool(block % 3 == 0))
+    assert cache.occupancy() <= 16
+    assert cache.stats.accesses == len(blocks)
+    assert cache.stats.hits + cache.stats.misses == len(blocks)

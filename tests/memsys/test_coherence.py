@@ -1,0 +1,233 @@
+"""MOSI snooping bus: protocol transitions, copyback accounting, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.coherence import (
+    FILL_C2C,
+    FILL_HIT,
+    FILL_MEM,
+    FILL_UPGRADE,
+    MOSIBus,
+    State,
+)
+from repro.memsys.config import CacheConfig
+from repro.memsys.misses import MissKind
+
+
+def make_bus(n_caches=2, protocol="mosi", sets=8, assoc=2) -> MOSIBus:
+    caches = [
+        SetAssociativeCache(
+            CacheConfig(size=assoc * sets * 64, assoc=assoc, block=64, name=f"L2-{i}")
+        )
+        for i in range(n_caches)
+    ]
+    return MOSIBus(caches, protocol=protocol)
+
+
+def test_cold_read_fills_from_memory():
+    bus = make_bus()
+    assert bus.read(0, 5) == FILL_MEM
+    assert bus.caches[0].probe(5) == State.SHARED
+    assert bus.stats.memory_fetches == 1
+
+
+def test_read_hit_no_bus_traffic():
+    bus = make_bus()
+    bus.read(0, 5)
+    assert bus.read(0, 5) == FILL_HIT
+    assert bus.stats.bus_reads == 1
+
+
+def test_cold_write_fills_exclusive():
+    bus = make_bus()
+    assert bus.write(0, 5) == FILL_MEM
+    assert bus.caches[0].probe(5) == State.MODIFIED
+
+
+def test_dirty_remote_read_is_copyback():
+    bus = make_bus()
+    bus.write(0, 5)
+    assert bus.read(1, 5) == FILL_C2C
+    assert bus.stats.c2c_transfers == 1
+    # MOSI: the supplier keeps the line in OWNED.
+    assert bus.caches[0].probe(5) == State.OWNED
+    assert bus.caches[1].probe(5) == State.SHARED
+
+
+def test_clean_remote_read_comes_from_memory():
+    bus = make_bus()
+    bus.read(0, 5)  # SHARED, clean
+    assert bus.read(1, 5) == FILL_MEM
+    assert bus.stats.c2c_transfers == 0
+
+
+def test_owned_supplier_keeps_supplying():
+    """MOSI's point: the owner supplies every later reader."""
+    bus = make_bus(n_caches=3)
+    bus.write(0, 5)
+    assert bus.read(1, 5) == FILL_C2C
+    assert bus.read(2, 5) == FILL_C2C  # owner 0 supplies again
+    assert bus.stats.c2c_transfers == 2
+
+
+def test_msi_supplier_downgrades_to_memory():
+    """MSI ablation: after one copyback, memory owns the line."""
+    bus = make_bus(n_caches=3, protocol="msi")
+    bus.write(0, 5)
+    assert bus.read(1, 5) == FILL_C2C
+    assert bus.caches[0].probe(5) == State.SHARED
+    assert bus.read(2, 5) == FILL_MEM  # nobody dirty any more
+    assert bus.stats.c2c_transfers == 1
+
+
+def test_write_to_shared_is_upgrade():
+    bus = make_bus()
+    bus.read(0, 5)
+    bus.read(1, 5)
+    assert bus.write(0, 5) == FILL_UPGRADE
+    assert bus.caches[0].probe(5) == State.MODIFIED
+    assert bus.caches[1].probe(5) is None
+    assert bus.stats.upgrades == 1
+    assert bus.stats.invalidations == 1
+
+
+def test_write_miss_invalidates_dirty_holder():
+    bus = make_bus()
+    bus.write(0, 5)
+    assert bus.write(1, 5) == FILL_C2C
+    assert bus.caches[0].probe(5) is None
+    assert bus.caches[1].probe(5) == State.MODIFIED
+
+
+def test_write_hit_modified_is_silent():
+    bus = make_bus()
+    bus.write(0, 5)
+    assert bus.write(0, 5) == FILL_HIT
+    assert bus.stats.bus_read_exclusives == 1
+
+
+def test_coherence_miss_classification():
+    bus = make_bus()
+    bus.read(0, 5)
+    bus.write(1, 5)  # invalidates cache 0's copy
+    bus.read(0, 5)  # coherence miss
+    assert bus.cache_stats[0].misses_by_kind[MissKind.COHERENCE] == 1
+    assert bus.cache_stats[0].misses_by_kind[MissKind.COLD] == 1
+
+
+def test_replacement_miss_classification():
+    bus = make_bus(sets=1, assoc=1)
+    bus.read(0, 0)
+    bus.read(0, 1)  # evicts block 0
+    bus.read(0, 0)  # replacement miss
+    assert bus.cache_stats[0].misses_by_kind[MissKind.REPLACEMENT] == 1
+
+
+def test_dirty_eviction_writes_back():
+    bus = make_bus(sets=1, assoc=1)
+    bus.write(0, 0)
+    bus.read(0, 1)  # evicts MODIFIED block 0
+    assert bus.stats.writebacks == 1
+    # And the holders mirror no longer lists it.
+    bus.check_invariants()
+
+
+def test_per_line_c2c_tracking():
+    bus = make_bus()
+    bus.write(0, 7)
+    bus.read(1, 7)
+    bus.write(0, 7)
+    bus.read(1, 7)
+    assert bus.stats.c2c_by_line[7] == 2
+    assert 7 in bus.stats.touched_lines
+
+
+def test_c2c_ratio():
+    bus = make_bus()
+    bus.write(0, 1)  # mem
+    bus.read(1, 1)  # c2c
+    assert bus.stats.c2c_ratio == pytest.approx(0.5)
+    assert bus.cache_stats[1].c2c_ratio == pytest.approx(1.0)
+
+
+def test_reset_stats_keeps_contents():
+    bus = make_bus()
+    bus.write(0, 5)
+    bus.reset_stats()
+    assert bus.stats.total_misses == 0
+    assert bus.caches[0].probe(5) == State.MODIFIED
+    # A hit after reset is not a miss: contents survived.
+    assert bus.write(0, 5) == FILL_HIT
+
+
+def test_rejects_unknown_protocol():
+    caches = [SetAssociativeCache(CacheConfig(size=1024, assoc=2, block=64))]
+    with pytest.raises(ConfigError):
+        MOSIBus(caches, protocol="moesi-plus")
+
+
+def test_mesi_silent_upgrade():
+    bus = make_bus(protocol="mesi")
+    assert bus.read(0, 5) == FILL_MEM
+    assert bus.caches[0].probe(5) == State.EXCLUSIVE
+    assert bus.write(0, 5) == FILL_HIT  # E -> M without bus traffic
+    assert bus.stats.silent_upgrades == 1
+    assert bus.stats.upgrades == 0
+    bus.check_invariants()
+
+
+def test_mesi_shared_read_installs_shared():
+    bus = make_bus(protocol="mesi")
+    bus.read(0, 5)
+    bus.read(1, 5)  # second reader: E holder downgrades, both SHARED
+    assert bus.caches[0].probe(5) == State.SHARED
+    assert bus.caches[1].probe(5) == State.SHARED
+    # A write now needs a real upgrade.
+    assert bus.write(0, 5) == FILL_UPGRADE
+    bus.check_invariants()
+
+
+def test_mesi_dirty_supply_still_copyback():
+    bus = make_bus(protocol="mesi")
+    bus.write(0, 7)
+    assert bus.read(1, 7) == FILL_C2C
+    bus.check_invariants()
+
+
+def test_rejects_empty_cache_list():
+    with pytest.raises(ConfigError):
+        MOSIBus([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # cache id
+            st.integers(min_value=0, max_value=31),  # block
+            st.booleans(),  # write?
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+    protocol=st.sampled_from(["mosi", "msi", "mesi"]),
+)
+def test_invariants_hold_under_random_traffic(ops, protocol):
+    """Single-writer/single-owner/mirror invariants after any trace."""
+    bus = make_bus(n_caches=3, protocol=protocol, sets=4, assoc=2)
+    for cache_id, block, write in ops:
+        if write:
+            bus.write(cache_id, block)
+        else:
+            bus.read(cache_id, block)
+    bus.check_invariants()
+    # Accounting identities.
+    total_fills = bus.stats.c2c_transfers + bus.stats.memory_fetches
+    assert total_fills == bus.stats.total_misses
+    for side in bus.cache_stats:
+        assert side.c2c_fills + side.mem_fills == side.misses
+        assert sum(side.misses_by_kind.values()) == side.misses

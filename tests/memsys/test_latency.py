@@ -1,0 +1,32 @@
+"""Latency book invariants."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsys.latency import E6000_LATENCIES, LatencyBook, numa
+
+
+def test_e6000_c2c_penalty():
+    """The paper: a C2C transfer is ~40% slower than memory on the E6000."""
+    assert E6000_LATENCIES.c2c_penalty_ratio == pytest.approx(1.4, abs=0.01)
+
+
+def test_numa_book():
+    book = numa(2.5)
+    assert book.cache_to_cache == pytest.approx(book.memory * 2.5, abs=1)
+
+
+def test_with_c2c_ratio():
+    book = E6000_LATENCIES.with_c2c_ratio(3.0)
+    assert book.c2c_penalty_ratio == pytest.approx(3.0, abs=0.01)
+    with pytest.raises(ConfigError):
+        E6000_LATENCIES.with_c2c_ratio(0)
+
+
+def test_ordering_validation():
+    with pytest.raises(ConfigError):
+        LatencyBook(l1_hit=5, l2_hit=2, memory=100)
+    with pytest.raises(ConfigError):
+        LatencyBook(memory=10, l2_hit=20)
+    with pytest.raises(ConfigError):
+        LatencyBook(cache_to_cache=0)

@@ -1,0 +1,100 @@
+"""Multi-config replay and miss-curve generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memsys.block import IFETCH, LOAD, STORE, encode_ref
+from repro.memsys.config import CacheConfig
+from repro.memsys.multisim import MultiConfigSimulator, simulate_miss_curve
+from repro.units import kb
+
+
+def mixed_trace(n: int) -> list[int]:
+    refs = []
+    for i in range(n):
+        refs.append(encode_ref(0x100000 + (i % 64) * 32, IFETCH))
+        refs.append(encode_ref(0x200000 + (i * 7 % 512) * 64, LOAD))
+        if i % 5 == 0:
+            refs.append(encode_ref(0x300000 + (i % 32) * 64, STORE))
+    return refs
+
+
+def test_kind_filtering():
+    trace = mixed_trace(100)
+    data_sim = MultiConfigSimulator([CacheConfig(size=kb(8), assoc=2, block=64)], "data")
+    data_sim.replay(trace)
+    instr_sim = MultiConfigSimulator(
+        [CacheConfig(size=kb(8), assoc=2, block=64)], "instr"
+    )
+    instr_sim.replay(trace)
+    n_data = sum(1 for r in trace if r & 3 != IFETCH)
+    n_instr = sum(1 for r in trace if r & 3 == IFETCH)
+    assert data_sim.caches[0].stats.accesses == n_data
+    assert instr_sim.caches[0].stats.accesses == n_instr
+    assert instr_sim.instructions == n_instr * 8
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ConfigError):
+        MultiConfigSimulator([CacheConfig(size=kb(8), assoc=2, block=64)], "both")
+    with pytest.raises(ConfigError):
+        MultiConfigSimulator([], "data")
+
+
+def test_miss_curve_monotonic_in_size():
+    """Bigger caches of the same shape never miss more (LRU inclusion)."""
+    trace = mixed_trace(3000)
+    points = simulate_miss_curve(
+        trace, [kb(8), kb(16), kb(32), kb(64)], kind="data", assoc=4
+    )
+    mpkis = [p.mpki for p in points]
+    for smaller, larger in zip(mpkis, mpkis[1:]):
+        assert larger <= smaller + 1e-9
+
+
+def test_warmup_reduces_reported_misses():
+    trace = mixed_trace(2000)
+    cold = simulate_miss_curve(trace, [kb(64)], kind="data", warmup_fraction=0.0)
+    warm = simulate_miss_curve(trace, [kb(64)], kind="data", warmup_fraction=0.5)
+    assert warm[0].mpki <= cold[0].mpki
+
+
+def test_warmup_fraction_validation():
+    with pytest.raises(ConfigError):
+        simulate_miss_curve([], [kb(8)], kind="data", warmup_fraction=1.0)
+
+
+def test_point_metadata():
+    trace = mixed_trace(500)
+    points = simulate_miss_curve(trace, [kb(8), kb(32)], kind="instr")
+    assert [p.size for p in points] == [kb(8), kb(32)]
+    for p in points:
+        assert 0 <= p.misses <= p.accesses
+        assert p.miss_ratio <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    blocks=st.lists(st.integers(min_value=0, max_value=511), min_size=16, max_size=400)
+)
+def test_inclusion_property_random_traces(blocks):
+    """Strict LRU inclusion: same sets, growing associativity.
+
+    (Growing the number of *sets* does not guarantee inclusion for
+    set-associative LRU, so the strict property is asserted along the
+    associativity axis, where it provably holds.)
+    """
+    trace = [encode_ref(b * 64, LOAD) for b in blocks]
+    sets = 16
+    sims = [
+        MultiConfigSimulator(
+            [CacheConfig(size=sets * assoc * 64, assoc=assoc, block=64)], "data"
+        )
+        for assoc in (1, 2, 4)
+    ]
+    for sim in sims:
+        sim.replay(trace)
+    misses = [sim.caches[0].stats.misses for sim in sims]
+    assert misses[0] >= misses[1] >= misses[2]

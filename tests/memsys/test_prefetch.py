@@ -1,0 +1,65 @@
+"""Next-line prefetcher."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.config import CacheConfig
+from repro.memsys.prefetch import NextLinePrefetcher
+
+
+def make_prefetcher(degree=1, sets=64, assoc=4) -> NextLinePrefetcher:
+    cache = SetAssociativeCache(
+        CacheConfig(size=sets * assoc * 64, assoc=assoc, block=64)
+    )
+    return NextLinePrefetcher(cache, degree=degree)
+
+
+def test_sequential_stream_mostly_hits():
+    pf = make_prefetcher()
+    misses = sum(0 if pf.access(b) else 1 for b in range(100))
+    # Only the first access misses; the tagged scheme stays ahead.
+    assert misses == 1
+    assert pf.stats.prefetch_hits >= 98
+    assert pf.stats.accuracy > 0.9
+
+
+def test_random_stream_gains_little():
+    import random
+
+    random.seed(5)
+    pf = make_prefetcher()
+    blocks = [random.randrange(0, 10_000) for _ in range(400)]
+    for b in blocks:
+        pf.access(b)
+    assert pf.stats.accuracy < 0.2
+
+
+def test_degree_two_runs_further_ahead():
+    shallow = make_prefetcher(degree=1)
+    deep = make_prefetcher(degree=2)
+    # Strided pattern skipping one block defeats degree-1.
+    for b in range(0, 200, 2):
+        shallow.access(b)
+        deep.access(b)
+    assert deep.stats.demand_misses < shallow.stats.demand_misses
+
+
+def test_prefetch_does_not_count_as_demand():
+    pf = make_prefetcher()
+    pf.access(0)
+    assert pf.stats.demand_accesses == 1
+    assert pf.cache.contains(1)  # the next line was prefetched in
+
+
+def test_validation():
+    cache = SetAssociativeCache(CacheConfig(size=4096, assoc=2, block=64))
+    with pytest.raises(ConfigError):
+        NextLinePrefetcher(cache, degree=0)
+
+
+def test_miss_ratio_property():
+    pf = make_prefetcher()
+    assert pf.stats.miss_ratio == 0.0
+    pf.access(10)
+    assert pf.stats.miss_ratio == 1.0

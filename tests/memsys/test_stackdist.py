@@ -1,0 +1,100 @@
+"""LRU stack-distance profiler vs. brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.memsys.stackdist import StackDistanceProfiler
+
+
+def brute_force_distances(blocks):
+    """Reference stack distances via an explicit LRU stack."""
+    stack = []
+    out = []
+    for block in blocks:
+        if block in stack:
+            depth = stack.index(block)
+            out.append(depth)
+            stack.remove(block)
+        else:
+            out.append(StackDistanceProfiler.COLD)
+        stack.insert(0, block)
+    return out
+
+
+def test_simple_sequence():
+    profiler = StackDistanceProfiler()
+    profiler.feed([1, 2, 1, 3, 2, 1])
+    hist = profiler.histogram()
+    # 1,2,3 are cold; second 1 has distance 1; 2 distance 2; 1 distance 2.
+    assert hist[StackDistanceProfiler.COLD] == 3
+    assert hist[1] == 1
+    assert hist[2] == 2
+
+
+def test_repeated_block_distance_zero():
+    profiler = StackDistanceProfiler()
+    profiler.feed([9, 9, 9])
+    hist = profiler.histogram()
+    assert hist[0] == 2
+
+
+def test_misses_at_capacities():
+    profiler = StackDistanceProfiler()
+    # Cyclic access over 3 blocks: capacity 3 holds them, 2 does not.
+    profiler.feed([1, 2, 3] * 10)
+    misses = profiler.misses_at([2, 3, 4])
+    assert misses[3] == 3  # only compulsory misses
+    assert misses[4] == 3
+    assert misses[2] == 30  # thrash
+
+
+def test_misses_at_rejects_nonpositive():
+    profiler = StackDistanceProfiler()
+    profiler.feed([1])
+    with pytest.raises(AnalysisError):
+        profiler.misses_at([0])
+
+
+def test_working_set_size():
+    profiler = StackDistanceProfiler()
+    profiler.feed([1, 2, 3] * 20)
+    assert profiler.working_set_size(0.95) == 3
+
+
+def test_working_set_validation():
+    profiler = StackDistanceProfiler()
+    with pytest.raises(AnalysisError):
+        profiler.working_set_size(0.0)
+
+
+def test_empty_profile():
+    profiler = StackDistanceProfiler()
+    assert profiler.histogram() == {}
+    assert profiler.working_set_size() == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200))
+def test_matches_brute_force(blocks):
+    profiler = StackDistanceProfiler()
+    profiler.feed(blocks)
+    hist = profiler.histogram()
+    reference = brute_force_distances(blocks)
+    expected: dict[int, int] = {}
+    for d in reference:
+        expected[d] = expected.get(d, 0) + 1
+    assert hist == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=150))
+def test_miss_counts_monotonic_in_capacity(blocks):
+    profiler = StackDistanceProfiler()
+    profiler.feed(blocks)
+    misses = profiler.misses_at([1, 2, 4, 8, 16])
+    counts = [misses[c] for c in (1, 2, 4, 8, 16)]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    # Cold misses bound from below: distinct blocks always miss once.
+    assert counts[-1] >= len(set(blocks)) - 0  # == distinct when cap large

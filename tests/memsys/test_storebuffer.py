@@ -1,0 +1,62 @@
+"""Store-buffer occupancy model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsys.storebuffer import StoreBuffer
+
+
+def test_empty_buffer_no_stall():
+    sb = StoreBuffer(depth=4)
+    assert sb.issue(now=0, drain_latency=10) == 0
+    assert sb.occupancy == 1
+
+
+def test_full_buffer_stalls_until_head_drains():
+    sb = StoreBuffer(depth=2)
+    sb.issue(now=0, drain_latency=10)  # drains at 10
+    sb.issue(now=0, drain_latency=10)  # drains at 20
+    stall = sb.issue(now=1, drain_latency=10)
+    assert stall == 9  # wait for the head to finish at t=10
+    assert sb.stalled_stores == 1
+    assert sb.stall_cycles == 9
+
+
+def test_spaced_stores_never_stall():
+    sb = StoreBuffer(depth=2)
+    total = 0
+    for i in range(20):
+        total += sb.issue(now=i * 100, drain_latency=10)
+    assert total == 0
+
+
+def test_in_order_drain():
+    sb = StoreBuffer(depth=8)
+    sb.issue(now=0, drain_latency=10)
+    sb.issue(now=0, drain_latency=1)
+    # Second store cannot finish before the first (FIFO drain).
+    assert sb._last_drain_done == 11
+
+
+def test_stall_fraction():
+    sb = StoreBuffer(depth=1)
+    sb.issue(now=0, drain_latency=100)
+    sb.issue(now=0, drain_latency=100)
+    assert sb.stall_fraction(total_cycles=1000) == pytest.approx(0.1)
+    assert StoreBuffer().stall_fraction(0) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        StoreBuffer(depth=0)
+    with pytest.raises(ConfigError):
+        StoreBuffer().issue(now=0, drain_latency=0)
+
+
+def test_burst_then_idle_recovers():
+    sb = StoreBuffer(depth=2)
+    for _ in range(4):
+        sb.issue(now=0, drain_latency=10)
+    # After the burst drains, a late store sees an empty buffer.
+    assert sb.issue(now=10_000, drain_latency=10) == 0
+    assert sb.occupancy == 1

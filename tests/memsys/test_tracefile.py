@@ -1,0 +1,72 @@
+"""Trace persistence round-trips."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.memsys.tracefile import load_trace, save_trace
+from repro.rng import RngFactory
+from repro.workloads.base import TraceBundle
+from repro.workloads.specjbb import SpecJbbWorkload
+
+
+def test_roundtrip_synthetic(tmp_path):
+    bundle = TraceBundle(
+        workload="demo",
+        per_cpu=[[1, 2, 3], [4, 5]],
+        instructions=[10, 20],
+        meta={"k": 1, "s": "x"},
+    )
+    path = save_trace(bundle, tmp_path / "t")
+    assert path.suffix == ".npz"
+    loaded = load_trace(path)
+    assert loaded.per_cpu == bundle.per_cpu
+    assert loaded.instructions == bundle.instructions
+    assert loaded.meta == bundle.meta
+    assert loaded.workload == "demo"
+
+
+def test_roundtrip_real_workload(tmp_path, tiny_sim):
+    bundle = SpecJbbWorkload(warehouses=2).generate(
+        2, tiny_sim, RngFactory(seed=3)
+    )
+    path = save_trace(bundle, tmp_path / "jbb.npz")
+    loaded = load_trace(path)
+    assert loaded.per_cpu == bundle.per_cpu
+    assert loaded.meta["warehouses"] == 2
+
+
+def test_replay_equivalence(tmp_path, tiny_sim):
+    """A reloaded trace drives the simulator identically."""
+    from repro.core.config import e6000_machine
+    from repro.memsys.hierarchy import MemoryHierarchy
+
+    bundle = SpecJbbWorkload(warehouses=2).generate(2, tiny_sim, RngFactory(4))
+    loaded = load_trace(save_trace(bundle, tmp_path / "t.npz"))
+    a = MemoryHierarchy(e6000_machine(2))
+    a.run_trace(bundle.per_cpu)
+    b = MemoryHierarchy(e6000_machine(2))
+    b.run_trace(loaded.per_cpu)
+    assert a.total_l2_misses == b.total_l2_misses
+    assert a.total_c2c_fills == b.total_c2c_fills
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(AnalysisError):
+        load_trace(tmp_path / "missing.npz")
+
+
+def test_non_trace_npz_rejected(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "other.npz"
+    np.savez(path, x=np.arange(3))
+    with pytest.raises(AnalysisError):
+        load_trace(path)
+
+
+def test_unserializable_meta_stringified(tmp_path):
+    bundle = TraceBundle(
+        workload="demo", per_cpu=[[1]], instructions=[8], meta={"obj": object()}
+    )
+    loaded = load_trace(save_trace(bundle, tmp_path / "m.npz"))
+    assert isinstance(loaded.meta["obj"], str)

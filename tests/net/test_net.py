@@ -1,0 +1,41 @@
+"""Ethernet link and message catalogue."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.ethernet import EthernetLink
+from repro.net.messages import MessageType, message_bytes
+
+
+def test_transfer_time_components():
+    link = EthernetLink(bandwidth_bps=100e6, latency_s=150e-6)
+    t = link.transfer_time(1000)
+    assert t > 150e-6
+    assert t == pytest.approx(150e-6 + (1000 + 78) * 8 / 100e6)
+
+
+def test_transfer_time_monotonic_in_size():
+    link = EthernetLink()
+    assert link.transfer_time(100) < link.transfer_time(10_000)
+    with pytest.raises(ConfigError):
+        link.transfer_time(-1)
+
+
+def test_utilization():
+    link = EthernetLink(bandwidth_bps=100e6)
+    assert link.utilization(12.5e6 / 8 * 8) == pytest.approx(1.0)
+    with pytest.raises(ConfigError):
+        link.utilization(-1)
+
+
+def test_link_validation():
+    with pytest.raises(ConfigError):
+        EthernetLink(bandwidth_bps=0)
+
+
+def test_message_sizes():
+    assert message_bytes(MessageType.SUPPLIER_PO_XML) > message_bytes(
+        MessageType.DRIVER_REQUEST
+    )
+    for message in MessageType:
+        assert message_bytes(message) > 0

@@ -1,0 +1,62 @@
+"""OS model: mpstat breakdowns, psrset, kernel network time."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigError
+from repro.osmodel.mpstat import ModeBreakdown
+from repro.osmodel.netstack import KernelNetworkModel
+from repro.osmodel.scheduler import ProcessorSet
+
+
+def test_mode_breakdown_must_sum_to_one():
+    with pytest.raises(AnalysisError):
+        ModeBreakdown(user=0.5, system=0.1, io=0.0, gc_idle=0.0, other_idle=0.0)
+    md = ModeBreakdown(user=0.6, system=0.2, io=0.05, gc_idle=0.05, other_idle=0.1)
+    assert md.idle == pytest.approx(0.15)
+    assert md.busy == pytest.approx(0.8)
+
+
+def test_mode_breakdown_normalizing_constructor():
+    md = ModeBreakdown.from_components(user=6, system=2, io=0.5, gc_idle=0.5, other_idle=1)
+    assert md.user == pytest.approx(0.6)
+    assert sum(md.as_dict().values()) == pytest.approx(1.0)
+    with pytest.raises(AnalysisError):
+        ModeBreakdown.from_components(0, 0, 0, 0, 0)
+
+
+def test_negative_mode_rejected():
+    with pytest.raises(AnalysisError):
+        ModeBreakdown(user=1.1, system=-0.1, io=0.0, gc_idle=0.0, other_idle=0.0)
+
+
+def test_processor_set():
+    pset = ProcessorSet(machine_procs=16, set_size=4)
+    assert pset.members == [0, 1, 2, 3]
+    assert len(pset.outside) == 12
+    assert pset.is_member(0) and not pset.is_member(4)
+    with pytest.raises(ConfigError):
+        ProcessorSet(machine_procs=16, set_size=17)
+    with pytest.raises(ConfigError):
+        pset.is_member(16)
+
+
+def test_kernel_network_growth():
+    model = KernelNetworkModel()
+    fractions = [model.system_fraction(p) for p in (1, 4, 8, 15)]
+    assert fractions[0] == pytest.approx(0.045)
+    assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] <= model.cap
+
+
+def test_kernel_network_none():
+    model = KernelNetworkModel.none()
+    assert model.system_fraction(15) == 0.0
+
+
+def test_kernel_network_validation():
+    with pytest.raises(ConfigError):
+        KernelNetworkModel(base_fraction=1.0)
+    with pytest.raises(ConfigError):
+        KernelNetworkModel(base_fraction=0.2, cap=0.1)
+    with pytest.raises(ConfigError):
+        KernelNetworkModel().system_fraction(0)

@@ -1,0 +1,71 @@
+"""Application-server clustering extension."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel import WorkloadScalingParams
+from repro.perfmodel.cluster import ClusteredThroughputModel, compare_clusterings
+
+
+def flat_cpi(p: int) -> float:
+    return 2.2
+
+
+def test_single_instance_matches_base_model():
+    params = WorkloadScalingParams.ecperf_default()
+    results = compare_clusterings(params, flat_cpi, n_procs=8, instance_counts=[1])
+    from repro.perfmodel import ThroughputModel
+
+    base = ThroughputModel(params, flat_cpi).point(8).speedup
+    assert results[1] == pytest.approx(base)
+
+
+def test_clustering_relieves_contention_at_scale():
+    """At 15 processors SPECjbb's serialization dominates; splitting the
+    JVM into instances sidesteps it."""
+    params = WorkloadScalingParams.specjbb_default()
+    results = compare_clusterings(
+        params, flat_cpi, n_procs=15, instance_counts=[1, 3]
+    )
+    assert results[3] > results[1]
+
+
+def test_clustering_costs_ecperf_interference_at_small_scale():
+    """At small processor counts ECperf loses more bean-cache
+    interference than it gains in contention relief."""
+    params = WorkloadScalingParams.ecperf_default()
+    results = compare_clusterings(params, flat_cpi, n_procs=4, instance_counts=[1, 4])
+    assert results[4] < results[1]
+
+
+def test_uneven_processor_split():
+    params = WorkloadScalingParams.specjbb_default()
+    model = ClusteredThroughputModel(params, flat_cpi, instances=3)
+    # 7 processors across 3 instances: 3 + 2 + 2.
+    assert model.speedup(7) > 0
+
+
+def test_validation():
+    params = WorkloadScalingParams.specjbb_default()
+    with pytest.raises(ConfigError):
+        ClusteredThroughputModel(params, flat_cpi, instances=0)
+    with pytest.raises(ConfigError):
+        ClusteredThroughputModel(params, flat_cpi, instances=4).speedup(2)
+
+
+def test_gc_threads_validation():
+    from repro.perfmodel import ThroughputModel
+
+    with pytest.raises(ConfigError):
+        ThroughputModel(
+            WorkloadScalingParams.specjbb_default(), flat_cpi, gc_threads=0
+        )
+
+
+def test_next_generation_machine_preset():
+    from repro.core.config import next_generation_machine
+
+    machine = next_generation_machine(8)
+    assert machine.l2.size == 8 << 20
+    assert machine.clock_hz > 248_000_000
+    assert machine.latencies.memory > 135  # relatively slower memory

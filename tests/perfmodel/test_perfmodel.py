@@ -1,0 +1,124 @@
+"""Throughput-scaling model: path length, contention, composition."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel import (
+    ContentionModel,
+    PathLengthModel,
+    ScalingPoint,
+    ThroughputModel,
+    WorkloadScalingParams,
+)
+
+
+def flat_cpi(p: int) -> float:
+    return 2.0
+
+
+def test_flat_path_length():
+    model = PathLengthModel.flat(50_000)
+    assert model.instr_per_op(1) == model.instr_per_op(16) == 50_000
+    assert model.relative(8) == 1.0
+
+
+def test_ecperf_path_length_falls_with_concurrency():
+    model = PathLengthModel.ecperf_default()
+    values = [model.instr_per_op(p) for p in (1, 2, 4, 8)]
+    assert all(a > b for a, b in zip(values, values[1:]))
+    assert 0.4 < model.relative(8) < 0.95
+
+
+def test_path_length_validation():
+    with pytest.raises(ConfigError):
+        PathLengthModel(base_instr=0)
+    with pytest.raises(ConfigError):
+        PathLengthModel.flat().instr_per_op(0)
+
+
+def test_contention_idle_grows():
+    model = ContentionModel.specjbb_default()
+    idles = [model.idle_fraction(p) for p in (1, 4, 8, 15)]
+    assert idles[0] == pytest.approx(0.0, abs=1e-6)
+    assert all(a <= b for a, b in zip(idles, idles[1:]))
+    assert idles[-1] < 0.95
+
+
+def test_contention_validation():
+    with pytest.raises(ConfigError):
+        ContentionModel(jvm_lock_demand=1.0)
+    with pytest.raises(ConfigError):
+        ContentionModel().idle_fraction(0)
+
+
+def test_speedup_is_one_at_one_processor():
+    for params in (
+        WorkloadScalingParams.specjbb_default(),
+        WorkloadScalingParams.ecperf_default(),
+    ):
+        model = ThroughputModel(params, flat_cpi)
+        assert model.point(1).speedup == pytest.approx(1.0)
+        assert model.point(1).speedup_no_gc == pytest.approx(1.0)
+
+
+def test_speedup_bounded_by_linear():
+    """With flat CPI and flat path length, speedup cannot exceed p."""
+    model = ThroughputModel(WorkloadScalingParams.specjbb_default(), flat_cpi)
+    for p in (2, 4, 8, 15):
+        assert model.point(p).speedup <= p + 1e-9
+
+
+def test_ecperf_superlinearity_comes_from_path_length():
+    ec = ThroughputModel(WorkloadScalingParams.ecperf_default(), flat_cpi)
+    assert ec.point(8).speedup > 8.0
+    flat = WorkloadScalingParams(
+        name="ecperf-flat-path",
+        path_length=PathLengthModel.flat(),
+        contention=WorkloadScalingParams.ecperf_default().contention,
+        kernel=WorkloadScalingParams.ecperf_default().kernel,
+        io_fraction=0.02,
+        gc_fraction_1p=0.012,
+    )
+    without = ThroughputModel(flat, flat_cpi)
+    assert without.point(8).speedup < 8.0
+
+
+def test_no_gc_speedup_dominates_measured():
+    model = ThroughputModel(WorkloadScalingParams.specjbb_default(), flat_cpi)
+    for p in (2, 8, 15):
+        point = model.point(p)
+        assert point.speedup_no_gc >= point.speedup - 1e-9
+
+
+def test_modes_are_normalized():
+    model = ThroughputModel(WorkloadScalingParams.ecperf_default(), flat_cpi)
+    for p in (1, 4, 15):
+        modes = model.point(p).modes
+        assert sum(modes.as_dict().values()) == pytest.approx(1.0)
+
+
+def test_gc_wall_fraction_grows_with_throughput():
+    model = ThroughputModel(WorkloadScalingParams.specjbb_default(), flat_cpi)
+    assert model.gc_wall_fraction(8) > model.gc_wall_fraction(1)
+    assert model.gc_wall_fraction(15) < 0.4
+
+
+def test_peak_selection():
+    model = ThroughputModel(WorkloadScalingParams.ecperf_default(), flat_cpi)
+    peak = model.peak([1, 2, 4, 8, 12, 15])
+    assert isinstance(peak, ScalingPoint)
+    assert peak.speedup == max(pt.speedup for pt in model.curve([1, 2, 4, 8, 12, 15]))
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        WorkloadScalingParams(
+            name="x",
+            path_length=PathLengthModel.flat(),
+            contention=ContentionModel(),
+            kernel=WorkloadScalingParams.specjbb_default().kernel,
+            io_fraction=0.6,
+        )
+    model = ThroughputModel(WorkloadScalingParams.specjbb_default(), flat_cpi)
+    with pytest.raises(ConfigError):
+        model.point(0)

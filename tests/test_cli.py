@@ -1,0 +1,37 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "HPCA 2003" in out
+    assert "specjbb" in out and "ecperf" in out
+    assert "fig16" in out
+
+
+def test_unknown_figure_id(capsys):
+    assert main(["figures", "fig99", "--quick"]) == 2
+    assert "unknown figure" in capsys.readouterr().out
+
+
+def test_characterize_quick(capsys):
+    assert main(["characterize", "specjbb", "-p", "2", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "specjbb on 2 processors" in out
+    assert "CPI (total)" in out
+
+
+def test_single_figure_quick(capsys):
+    assert main(["figures", "fig11"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "fig11" in out
+    assert "paper:" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,38 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (ConfigError, SimulationError, WorkloadError, AnalysisError):
+        assert issubclass(exc, ReproError)
+
+
+def test_one_catch_at_api_boundary():
+    """Library callers can catch ReproError for any library failure."""
+    from repro.memsys.config import CacheConfig
+
+    with pytest.raises(ReproError):
+        CacheConfig(size=-1, assoc=1, block=64)
+
+    from repro.workloads.specjbb import SpecJbbWorkload
+
+    with pytest.raises(ReproError):
+        SpecJbbWorkload(warehouses=0)
+
+    from repro.analysis import cumulative_share
+
+    with pytest.raises(ReproError):
+        cumulative_share([-1])
+
+
+def test_repro_error_is_not_caught_by_accident():
+    assert not issubclass(ReproError, ValueError)

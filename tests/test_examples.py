@@ -1,0 +1,42 @@
+"""Examples: importable, documented, and wired to real APIs.
+
+Full example runs take minutes (they use figure-level simulation
+effort); importing them executes everything except ``main()``, which
+catches broken imports, renamed APIs and bad constants.  The examples
+are exercised end-to-end by the benchmark/figure suite, which runs the
+same drivers they call.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_declares_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert callable(getattr(module, "main", None)), f"{path.stem} needs main()"
+    assert module.__doc__ and "Run:" in module.__doc__
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "cache_design_study",
+        "cmp_shared_cache_study",
+        "scaling_study",
+        "gc_pause_study",
+        "trace_replay",
+    } <= names

@@ -1,0 +1,29 @@
+"""Deterministic named RNG streams."""
+
+from repro.rng import RngFactory
+
+
+def test_same_name_same_stream():
+    factory = RngFactory(seed=1)
+    a = factory.stream("x").random(5)
+    b = factory.stream("x").random(5)
+    assert list(a) == list(b)
+
+
+def test_different_names_differ():
+    factory = RngFactory(seed=1)
+    a = factory.stream("x").random(5)
+    b = factory.stream("y").random(5)
+    assert list(a) != list(b)
+
+
+def test_run_index_perturbs_all_streams():
+    base = RngFactory(seed=1)
+    other = base.perturbed(run_index=1)
+    assert list(base.stream("x").random(3)) != list(other.stream("x").random(3))
+
+
+def test_seed_separates_factories():
+    assert list(RngFactory(1).stream("x").random(3)) != list(
+        RngFactory(2).stream("x").random(3)
+    )

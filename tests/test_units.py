@@ -1,0 +1,53 @@
+"""Units and conversions."""
+
+import pytest
+
+from repro.units import (
+    E6000_CLOCK_HZ,
+    cycles_to_seconds,
+    format_size,
+    is_power_of_two,
+    kb,
+    log2_int,
+    mb,
+    ns_to_cycles,
+    seconds_to_cycles,
+)
+
+
+def test_kb_mb():
+    assert kb(1) == 1024
+    assert mb(1) == 1024 * 1024
+    assert mb(1.5) == 1536 * 1024
+
+
+def test_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(64)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(3)
+    assert not is_power_of_two(-8)
+
+
+def test_log2_int():
+    assert log2_int(1) == 0
+    assert log2_int(4096) == 12
+    with pytest.raises(ValueError):
+        log2_int(12)
+
+
+def test_cycle_time_roundtrip():
+    seconds = cycles_to_seconds(E6000_CLOCK_HZ)
+    assert seconds == pytest.approx(1.0)
+    assert seconds_to_cycles(seconds) == pytest.approx(E6000_CLOCK_HZ)
+
+
+def test_ns_to_cycles_memory_latency():
+    # ~550 ns at 248 MHz is ~136 cycles, the basis of the latency book.
+    assert ns_to_cycles(550) == pytest.approx(136.4, abs=0.5)
+
+
+def test_format_size():
+    assert format_size(kb(64)) == "64 KB"
+    assert format_size(mb(1)) == "1 MB"
+    assert format_size(100) == "100 B"

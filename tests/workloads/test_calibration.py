@@ -1,0 +1,99 @@
+"""Calibration contracts for the workload generators.
+
+The figure reproductions depend on structural properties of the
+generated streams (reference mix, footprint ordering, sharing
+behavior).  These tests pin those properties at reduced effort so a
+refactor that silently de-calibrates a generator fails here, not in a
+ten-minute benchmark run.
+"""
+
+import pytest
+
+from repro.core.config import SimConfig, e6000_machine
+from repro.memsys.block import IFETCH, LOAD, STORE
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.rng import RngFactory
+from repro.workloads.ecperf import EcperfWorkload
+from repro.workloads.specjbb import SpecJbbWorkload
+
+SIM = SimConfig(seed=1234, refs_per_proc=60_000, warmup_fraction=0.5)
+
+
+def mix_of(bundle):
+    counts = {IFETCH: 0, LOAD: 0, STORE: 0}
+    for trace in bundle.per_cpu:
+        for ref in trace:
+            counts[ref & 3] += 1
+    total = sum(counts.values())
+    return {k: v / total for k, v in counts.items()}
+
+
+@pytest.mark.parametrize("workload_cls", [SpecJbbWorkload, EcperfWorkload])
+def test_reference_mix_realistic(workload_cls):
+    """SPARC integer code: ~1 fetch line / 8 instr, ~0.3-0.5 data/instr."""
+    bundle = workload_cls().generate(2, SIM, RngFactory(SIM.seed))
+    mix = mix_of(bundle)
+    data_per_instr = (mix[LOAD] + mix[STORE]) / (mix[IFETCH] * 8)
+    assert 0.25 <= data_per_instr <= 0.60
+    assert mix[LOAD] > mix[STORE]  # loads outnumber stores
+
+
+def test_data_mpki_in_paper_band():
+    """Steady-state L2 data misses stay in the low-MPKI band the paper
+    reports for 1 MB caches."""
+    for workload, lo, hi in (
+        (SpecJbbWorkload(warehouses=4), 0.5, 8.0),
+        (EcperfWorkload(), 0.5, 10.0),
+    ):
+        bundle = workload.generate(4, SIM, RngFactory(SIM.seed))
+        hierarchy = MemoryHierarchy(e6000_machine(4))
+        hierarchy.run_trace(bundle.per_cpu, warmup_fraction=0.5)
+        assert lo <= hierarchy.data_mpki() <= hi, workload.name
+
+
+def test_c2c_ordering_with_processors():
+    """More processors, more sharing misses — for both workloads."""
+    for workload_cls in (SpecJbbWorkload, EcperfWorkload):
+        ratios = []
+        for p in (2, 8):
+            workload = (
+                workload_cls(warehouses=p)
+                if workload_cls is SpecJbbWorkload
+                else workload_cls()
+            )
+            bundle = workload.generate(p, SIM, RngFactory(SIM.seed))
+            hierarchy = MemoryHierarchy(e6000_machine(p))
+            hierarchy.run_trace(bundle.per_cpu, warmup_fraction=0.5)
+            ratios.append(hierarchy.c2c_ratio())
+        assert ratios[1] > ratios[0] - 0.05, workload_cls.__name__
+
+
+def test_specjbb_hot_line_is_company_state():
+    """SPECjbb's hottest communicating line must be the company
+    lock/counters region, not an accident of the trace."""
+    from repro.workloads import layout
+
+    workload = SpecJbbWorkload(warehouses=4)
+    bundle = workload.generate(4, SIM, RngFactory(SIM.seed))
+    hierarchy = MemoryHierarchy(e6000_machine(4))
+    hierarchy.run_trace(bundle.per_cpu, warmup_fraction=0.5)
+    by_line = hierarchy.bus.stats.c2c_by_line
+    hottest = max(by_line, key=by_line.get)
+    shared_lo = layout.SHARED_BASE >> 6
+    shared_hi = (layout.SHARED_BASE + 0x10000) >> 6
+    assert shared_lo <= hottest < shared_hi
+
+
+def test_ecperf_communication_wider_than_specjbb():
+    footprints = {}
+    for workload_cls in (SpecJbbWorkload, EcperfWorkload):
+        workload = (
+            workload_cls(warehouses=4)
+            if workload_cls is SpecJbbWorkload
+            else workload_cls()
+        )
+        bundle = workload.generate(4, SIM, RngFactory(SIM.seed))
+        hierarchy = MemoryHierarchy(e6000_machine(4))
+        hierarchy.run_trace(bundle.per_cpu, warmup_fraction=0.5)
+        footprints[workload.name] = len(hierarchy.bus.stats.c2c_by_line)
+    assert footprints["ecperf"] > footprints["specjbb"]

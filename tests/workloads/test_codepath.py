@@ -1,0 +1,100 @@
+"""Code segments, layouts and fetch bursts."""
+
+import numpy as np
+import pytest
+
+from repro.appserver.container import CodeRegionSpec
+from repro.errors import ConfigError
+from repro.memsys.block import IFETCH, decode_ref
+from repro.workloads.codepath import (
+    CODE_REGION_BASE,
+    CodeLayout,
+    CodeSegment,
+    jvm_runtime_regions,
+)
+
+
+def test_segment_fetch_refs_sequential():
+    seg = CodeSegment("s", base=CODE_REGION_BASE, instructions=256)
+    refs = seg.fetch_refs(start_instr=0, n_instr=64)
+    addrs = [decode_ref(r)[0] for r in refs]
+    assert addrs == [CODE_REGION_BASE + 32 * i for i in range(8)]
+    assert all(decode_ref(r)[1] == IFETCH for r in refs)
+
+
+def test_segment_wraps_like_a_loop():
+    seg = CodeSegment("s", base=CODE_REGION_BASE, instructions=16)  # 64 bytes
+    refs = seg.fetch_refs(start_instr=8, n_instr=16)
+    addrs = [decode_ref(r)[0] for r in refs]
+    assert addrs[0] == CODE_REGION_BASE + 32
+    assert addrs[1] == CODE_REGION_BASE  # wrapped
+
+
+def test_segment_validation():
+    with pytest.raises(ConfigError):
+        CodeSegment("s", base=CODE_REGION_BASE, instructions=0)
+    with pytest.raises(ConfigError):
+        CodeSegment("s", base=CODE_REGION_BASE + 1, instructions=8)
+
+
+def test_layout_assigns_disjoint_segments():
+    specs = [CodeRegionSpec(f"r{i}", instructions=1000, hotness=1.0) for i in range(5)]
+    layout = CodeLayout(specs)
+    ends = []
+    for seg in layout.segments:
+        for lo, hi in ends:
+            assert seg.base >= hi or seg.base + seg.code_bytes <= lo
+        ends.append((seg.base, seg.base + seg.code_bytes))
+    assert layout.total_code_bytes == 5 * 4000
+
+
+def test_layout_hotness_weighting():
+    specs = [
+        CodeRegionSpec("hot", instructions=100, hotness=50.0),
+        CodeRegionSpec("cold", instructions=100, hotness=1.0),
+    ]
+    layout = CodeLayout(specs)
+    rng = np.random.default_rng(1)
+    picks = [layout.pick_segment(rng).name for _ in range(500)]
+    assert picks.count("hot") > 400
+
+
+def test_burst_instruction_accounting():
+    layout = CodeLayout(jvm_runtime_regions())
+    rng = np.random.default_rng(2)
+    refs, n_instr, cont = layout.burst(rng, mean_burst_instr=100)
+    assert n_instr >= 16
+    assert len(refs) == pytest.approx(n_instr / 8, abs=2)
+    assert cont[0] in layout.segments
+
+
+def test_burst_locality_continuation():
+    layout = CodeLayout(jvm_runtime_regions(), locality=0.99)
+    rng = np.random.default_rng(3)
+    _, _, cont = layout.burst(rng)
+    segments = set()
+    for _ in range(20):
+        _, _, cont = layout.burst(rng, prev=cont)
+        segments.add(cont[0].name)
+    # With near-certain locality, execution stays in very few segments.
+    assert len(segments) <= 3
+
+
+def test_burst_refs_stay_inside_segment():
+    layout = CodeLayout(jvm_runtime_regions())
+    rng = np.random.default_rng(4)
+    for _ in range(50):
+        refs, _, cont = layout.burst(rng)
+        seg = cont[0]
+        for r in refs:
+            addr = decode_ref(r)[0]
+            assert seg.base <= addr < seg.base + seg.code_bytes
+
+
+def test_layout_validation():
+    with pytest.raises(ConfigError):
+        CodeLayout([])
+    with pytest.raises(ConfigError):
+        CodeLayout(jvm_runtime_regions(), locality=1.0)
+    with pytest.raises(ConfigError):
+        CodeLayout(jvm_runtime_regions(), offset_skew=0)

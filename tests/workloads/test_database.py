@@ -1,0 +1,68 @@
+"""Emulated databases: warehouse layout, footprints, stagger."""
+
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.units import mb
+from repro.workloads import layout
+from repro.workloads.database import DatabaseTier, EmulatedDatabase
+
+
+def test_footprint_scales_linearly():
+    per_wh = EmulatedDatabase(1).bytes_per_warehouse
+    db10 = EmulatedDatabase(10)
+    assert db10.total_bytes == pytest.approx(10 * per_wh + db10.item_tree.total_bytes)
+    # Each warehouse carries on the order of 10 MB of object trees.
+    assert mb(8) < per_wh < mb(20)
+
+
+def test_warehouse_bounds():
+    db = EmulatedDatabase(3)
+    assert db.warehouse(2).warehouse_id == 2
+    with pytest.raises(WorkloadError):
+        db.warehouse(3)
+    with pytest.raises(WorkloadError):
+        EmulatedDatabase(0)
+    with pytest.raises(WorkloadError):
+        EmulatedDatabase(layout.MAX_WAREHOUSES + 1)
+
+
+def test_trees_stay_inside_their_slot():
+    db = EmulatedDatabase(layout.MAX_WAREHOUSES)
+    for data in db.data:
+        slot_lo = layout.WAREHOUSE_BASE + data.warehouse_id * layout.WAREHOUSE_STRIDE
+        slot_hi = slot_lo + layout.WAREHOUSE_STRIDE
+        for tree in data.trees():
+            assert slot_lo <= tree.base
+            assert tree.base + tree.total_bytes <= slot_hi
+
+
+def test_trees_do_not_overlap_within_warehouse():
+    data = EmulatedDatabase(1).warehouse(0)
+    spans = sorted((t.base, t.base + t.total_bytes) for t in data.trees())
+    for (lo_a, hi_a), (lo_b, _) in zip(spans, spans[1:]):
+        assert hi_a <= lo_b
+
+
+def test_stagger_avoids_set_aliasing():
+    """Tree roots across warehouses must not share L2 set indices.
+
+    Without the sub-MB stagger every warehouse's roots mapped to the
+    same sets (24 MB strides alias the index bits) and thrashed.
+    """
+    db = EmulatedDatabase(8)
+    set_mask = 4096 - 1  # 1 MB, 4-way, 64 B
+    root_sets = [(w.stock.base >> 6) & set_mask for w in db.data]
+    assert len(set(root_sets)) >= 6
+
+
+def test_database_tier():
+    tier = DatabaseTier()
+    a = tier.marshal_buffer_addr(0)
+    b = tier.marshal_buffer_addr(1)
+    assert b - a == layout.MARSHAL_BUFFER_STRIDE
+    assert tier.result_bytes() > 0
+    with pytest.raises(ConfigError):
+        tier.marshal_buffer_addr(-1)
+    with pytest.raises(ConfigError):
+        DatabaseTier(mean_roundtrip_s=0)

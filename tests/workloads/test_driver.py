@@ -1,0 +1,44 @@
+"""Driver model and BBop accounting."""
+
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.workloads.driver import BBopCounter, DriverModel
+
+
+def test_bbop_counter():
+    counter = BBopCounter()
+    counter.record("new_order", 3)
+    counter.record("order_status")
+    assert counter.completed == 4
+    assert counter.by_type == {"new_order": 3, "order_status": 1}
+    assert counter.bbops_per_minute(elapsed_s=60.0) == pytest.approx(4.0)
+
+
+def test_bbop_counter_validation():
+    counter = BBopCounter()
+    with pytest.raises(WorkloadError):
+        counter.record("x", -1)
+    with pytest.raises(WorkloadError):
+        counter.bbops_per_minute(0.0)
+
+
+def test_driver_offered_load_scales_with_injection_rate():
+    low = DriverModel(injection_rate=2)
+    high = DriverModel(injection_rate=20)
+    assert high.offered_ops_per_s == pytest.approx(10 * low.offered_ops_per_s)
+
+
+def test_required_concurrency_littles_law():
+    driver = DriverModel(injection_rate=4, orders_per_ir_per_s=2.5, think_time_s=1.0)
+    # X = 10 ops/s; N = X * (S + Z) = 10 * 1.5 = 15.
+    assert driver.required_concurrency(0.5) == pytest.approx(15.0)
+    with pytest.raises(ConfigError):
+        driver.required_concurrency(0.0)
+
+
+def test_driver_validation():
+    with pytest.raises(ConfigError):
+        DriverModel(injection_rate=0)
+    with pytest.raises(ConfigError):
+        DriverModel(orders_per_ir_per_s=0)

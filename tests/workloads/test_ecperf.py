@@ -1,0 +1,75 @@
+"""ECperf workload model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rng import RngFactory
+from repro.workloads import layout
+from repro.workloads.ecperf import EcperfWorkload
+
+
+def test_generation_deterministic(tiny_sim, rng_factory):
+    w = EcperfWorkload()
+    a = w.generate(2, tiny_sim, rng_factory)
+    b = w.generate(2, tiny_sim, rng_factory)
+    assert a.per_cpu == b.per_cpu
+
+
+def test_every_processor_has_threads(tiny_sim, rng_factory):
+    bundle = EcperfWorkload(threads_per_proc=2).generate(3, tiny_sim, rng_factory)
+    assert all(len(t) == tiny_sim.refs_per_proc for t in bundle.per_cpu)
+
+
+def test_metadata_records_fixed_footprints(tiny_sim, rng_factory):
+    w = EcperfWorkload(injection_rate=12)
+    bundle = w.generate(2, tiny_sim, rng_factory)
+    assert bundle.meta["injection_rate"] == 12
+    assert bundle.meta["bean_cache_bytes"] == w.bean_cache.footprint_bytes
+    assert bundle.meta["thread_pool"] == 6
+    assert bundle.meta["connection_pool"] == 4
+
+
+def test_injection_rate_does_not_move_footprint(tiny_sim, rng_factory):
+    """The paper's key ECperf property: the middle tier's memory use is
+    insensitive to the benchmark's scale factor."""
+    low = EcperfWorkload(injection_rate=2)
+    high = EcperfWorkload(injection_rate=40)
+    assert low.bean_cache.footprint_bytes == high.bean_cache.footprint_bytes
+    assert high.live_memory_mb(40) < 1.35 * low.live_memory_mb(10)
+
+
+def test_touches_shared_middleware_state(small_sim, rng_factory):
+    bundle = EcperfWorkload().generate(2, small_sim, rng_factory)
+    touched = {(r >> 2) >> 6 for t in bundle.per_cpu for r in t}
+    assert layout.THREAD_POOL_QUEUE >> 6 in touched
+    assert layout.CONN_POOL_LOCK >> 6 in touched
+    bean_lo = layout.BEAN_CACHE_BASE >> 6
+    assert any(bean_lo <= b < bean_lo + (32 << 14) for b in touched)
+
+
+def test_larger_code_footprint_than_specjbb():
+    from repro.workloads.specjbb import SpecJbbWorkload
+
+    ec = EcperfWorkload().code.total_code_bytes
+    jbb = SpecJbbWorkload(warehouses=1).code.total_code_bytes
+    assert ec > 2 * jbb
+
+
+def test_live_memory_knee():
+    w = EcperfWorkload()
+    assert w.live_memory_mb(6) - w.live_memory_mb(1) > 30
+    assert w.live_memory_mb(40) - w.live_memory_mb(10) < 10
+    with pytest.raises(WorkloadError):
+        w.live_memory_mb(0)
+
+
+def test_kernel_time_model_grows():
+    model = EcperfWorkload().kernel_time_model
+    assert model.system_fraction(15) > 4 * model.system_fraction(1)
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        EcperfWorkload(injection_rate=0)
+    with pytest.raises(WorkloadError):
+        EcperfWorkload(threads_per_proc=0)

@@ -1,0 +1,40 @@
+"""Address-space map sanity."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import layout
+
+
+def test_no_region_overlaps():
+    layout.check_no_overlaps()
+
+
+def test_region_validation():
+    with pytest.raises(ConfigError):
+        layout.Region("bad", 10, 10)
+
+
+def test_region_overlap_predicate():
+    a = layout.Region("a", 0, 100)
+    b = layout.Region("b", 50, 150)
+    c = layout.Region("c", 100, 200)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)  # end-exclusive
+
+
+def test_shared_lines_are_distinct_cache_lines():
+    hot = [
+        layout.GLOBAL_HEAP_LOCK,
+        layout.COMPANY_LOCK,
+        layout.COMPANY_TOTALS,
+        layout.CONN_POOL_LOCK,
+        layout.THREAD_POOL_QUEUE,
+    ]
+    blocks = {addr >> 6 for addr in hot}
+    assert len(blocks) == len(hot), "hot structures must not share 64 B lines"
+
+
+def test_warehouse_region_capacity():
+    region = [r for r in layout.address_map() if r.name == "warehouses"][0]
+    assert region.end - region.start == layout.MAX_WAREHOUSES * layout.WAREHOUSE_STRIDE

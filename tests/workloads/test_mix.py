@@ -1,0 +1,84 @@
+"""Transaction mixes and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.mix import (
+    ECPERF_MIX,
+    SPECJBB_MIX,
+    EcperfTxnType,
+    JbbTxnType,
+    pick_txn,
+)
+
+
+def test_specjbb_mix_tpcc_like():
+    weights = {t.name: t.weight for t in SPECJBB_MIX}
+    assert weights["new_order"] + weights["payment"] > 0.8
+    assert set(weights) == {
+        "new_order",
+        "payment",
+        "order_status",
+        "delivery",
+        "stock_level",
+    }
+
+
+def test_ecperf_mix_covers_domains():
+    domains = {t.domain for t in ECPERF_MIX}
+    assert domains == {"customer", "manufacturing", "supplier"}
+    customer_weight = sum(t.weight for t in ECPERF_MIX if t.domain == "customer")
+    assert customer_weight > 0.5  # customer interactions dominate (OLTP-like)
+    assert any(t.supplier_xml for t in ECPERF_MIX)
+
+
+def test_pick_txn_respects_weights():
+    rng = np.random.default_rng(5)
+    picks = [pick_txn(rng, SPECJBB_MIX).name for _ in range(4000)]
+    frequency = picks.count("new_order") / len(picks)
+    assert 0.38 <= frequency <= 0.50
+
+
+def test_pick_txn_empty_mix():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigError):
+        pick_txn(rng, [])
+
+
+def test_txn_type_validation():
+    with pytest.raises(ConfigError):
+        JbbTxnType(
+            name="x",
+            weight=0.0,
+            tree_visits=1,
+            leaf_writes=0,
+            item_lookups=0,
+            alloc_bytes=0,
+            code_bursts=1,
+            company_update=False,
+        )
+    with pytest.raises(ConfigError):
+        JbbTxnType(
+            name="x",
+            weight=1.0,
+            tree_visits=1,
+            leaf_writes=2,
+            item_lookups=0,
+            alloc_bytes=0,
+            code_bursts=1,
+            company_update=False,
+        )
+    with pytest.raises(ConfigError):
+        EcperfTxnType(
+            name="x",
+            domain="warehouse",
+            weight=1.0,
+            bean_lookups=1,
+            bean_updates=0,
+            db_roundtrips_on_miss=0,
+            supplier_xml=False,
+            alloc_bytes=0,
+            servlet_bursts=1,
+            container_bursts=1,
+        )

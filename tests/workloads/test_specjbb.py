@@ -1,0 +1,89 @@
+"""SPECjbb workload model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.memsys.block import IFETCH
+from repro.rng import RngFactory
+from repro.workloads import layout
+from repro.workloads.specjbb import SpecJbbWorkload
+
+
+def test_generation_deterministic(tiny_sim, rng_factory):
+    w = SpecJbbWorkload(warehouses=4)
+    a = w.generate(2, tiny_sim, rng_factory)
+    b = w.generate(2, tiny_sim, rng_factory)
+    assert a.per_cpu == b.per_cpu
+    assert a.instructions == b.instructions
+
+
+def test_generation_respects_budget(tiny_sim, rng_factory):
+    bundle = SpecJbbWorkload(warehouses=4).generate(2, tiny_sim, rng_factory)
+    assert all(len(t) == tiny_sim.refs_per_proc for t in bundle.per_cpu)
+    assert bundle.total_instructions > 0
+
+
+def test_perturbed_runs_differ(tiny_sim):
+    w = SpecJbbWorkload(warehouses=2)
+    a = w.generate(1, tiny_sim, RngFactory(seed=5, run_index=0))
+    b = w.generate(1, tiny_sim, RngFactory(seed=5, run_index=1))
+    assert a.per_cpu != b.per_cpu
+
+
+def test_idle_processors_get_empty_traces(tiny_sim, rng_factory):
+    """More processors than warehouses leaves some with no threads."""
+    bundle = SpecJbbWorkload(warehouses=2).generate(4, tiny_sim, rng_factory)
+    assert bundle.per_cpu[2] == []
+    assert bundle.per_cpu[3] == []
+    assert bundle.instructions[2] == 0
+
+
+def test_metadata(tiny_sim, rng_factory):
+    w = SpecJbbWorkload(warehouses=3)
+    bundle = w.generate(1, tiny_sim, rng_factory)
+    assert bundle.workload == "specjbb"
+    assert bundle.meta["warehouses"] == 3
+    assert bundle.meta["live_bytes"] == w.db.total_bytes
+    assert bundle.meta["code_bytes"] == w.code.total_code_bytes
+
+
+def test_touches_company_and_warehouse_state(small_sim, rng_factory):
+    bundle = SpecJbbWorkload(warehouses=2).generate(2, small_sim, rng_factory)
+    touched = {(r >> 2) >> 6 for t in bundle.per_cpu for r in t}
+    assert layout.COMPANY_LOCK >> 6 in touched
+    assert any(
+        (layout.WAREHOUSE_BASE >> 6) <= b < (0xF000_0000 >> 6) for b in touched
+    )
+
+
+def test_reference_mix_plausible(small_sim, rng_factory):
+    bundle = SpecJbbWorkload(warehouses=2).generate(1, small_sim, rng_factory)
+    trace = bundle.per_cpu[0]
+    ifetches = sum(1 for r in trace if r & 3 == IFETCH)
+    # Fetches are a third to two thirds of the stream (one per 8 instr,
+    # with ~0.35 data refs per instruction on top).
+    assert 0.30 <= ifetches / len(trace) <= 0.70
+
+
+def test_live_memory_curve_shape():
+    w = SpecJbbWorkload(warehouses=1)
+    values = {s: w.live_memory_mb(s) for s in (1, 10, 20, 30, 35, 40)}
+    assert values[20] > values[10] > values[1]
+    assert values[35] < values[30]  # compaction regime
+    assert values[40] <= values[35]
+    with pytest.raises(WorkloadError):
+        w.live_memory_mb(0)
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        SpecJbbWorkload(warehouses=0)
+    with pytest.raises(WorkloadError):
+        SpecJbbWorkload(remote_visit_prob=1.5)
+    with pytest.raises(WorkloadError):
+        SpecJbbWorkload(warehouses=2).generate(0, None, None)
+
+
+def test_kernel_time_model_is_none():
+    model = SpecJbbWorkload(warehouses=1).kernel_time_model
+    assert model.system_fraction(15) == 0.0

@@ -1,0 +1,58 @@
+"""VolanoMark-style workload (related-work comparison)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.rng import RngFactory
+from repro.workloads.ecperf import EcperfWorkload
+from repro.workloads.volanomark import VolanoMarkWorkload
+
+
+def test_generation(tiny_sim, rng_factory):
+    w = VolanoMarkWorkload(connections=40, rooms=4)
+    bundle = w.generate(2, tiny_sim, rng_factory)
+    assert all(len(t) == tiny_sim.refs_per_proc for t in bundle.per_cpu)
+    assert bundle.meta["threads_per_proc"] == 20
+    assert bundle.workload == "volanomark"
+
+
+def test_deterministic(tiny_sim, rng_factory):
+    w = VolanoMarkWorkload(connections=20, rooms=2)
+    assert (
+        w.generate(1, tiny_sim, rng_factory).per_cpu
+        == w.generate(1, tiny_sim, rng_factory).per_cpu
+    )
+
+
+def test_kernel_time_far_above_ecperf():
+    """The related-work contrast the model exists to expose."""
+    volano = VolanoMarkWorkload().kernel_time_model
+    ecperf = EcperfWorkload().kernel_time_model
+    for p in (1, 8, 15):
+        assert volano.system_fraction(p) > 1.5 * ecperf.system_fraction(p)
+
+
+def test_many_threads_per_processor(tiny_sim, rng_factory):
+    w = VolanoMarkWorkload(connections=400)
+    bundle = w.generate(4, tiny_sim, rng_factory)
+    assert bundle.meta["threads_per_proc"] == 100
+
+
+def test_tiny_code_footprint():
+    assert VolanoMarkWorkload().code.total_code_bytes < EcperfWorkload().code.total_code_bytes
+
+
+def test_live_memory_flat():
+    w = VolanoMarkWorkload()
+    assert w.live_memory_mb(400) - w.live_memory_mb(40) < 20
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        VolanoMarkWorkload(connections=0)
+    with pytest.raises(WorkloadError):
+        VolanoMarkWorkload(connections=10, rooms=11)
+    with pytest.raises(WorkloadError):
+        VolanoMarkWorkload().live_memory_mb(0)
+    with pytest.raises(WorkloadError):
+        VolanoMarkWorkload().generate(0, None, None)
