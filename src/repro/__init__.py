@@ -15,7 +15,10 @@ The package provides, from the bottom up:
   models that generate multi-threaded memory reference streams;
 - :mod:`repro.cpu`, :mod:`repro.perfmodel` — the CPI/stall
   decomposition and throughput-scaling models;
-- :mod:`repro.figures` — one driver per paper figure (4-16).
+- :mod:`repro.figures` — one driver per paper figure (4-16);
+- :mod:`repro.harness` — the parallel experiment engine under every
+  figure, sweep and multi-run experiment (process-pool fan-out,
+  content-addressed result caching, JSONL telemetry, fault policy).
 
 Quickstart::
 
@@ -38,6 +41,16 @@ from repro.core.characterize import (
 )
 from repro.core.experiment import Experiment, MultiRunResult, run_repeated
 from repro.core.metrics import CpiBreakdown, DataStallBreakdown, MissCounters, mpki
+from repro.core.sweep import SweepResult, sweep
+from repro.harness import (
+    FaultPolicy,
+    ResultCache,
+    Task,
+    TaskFailure,
+    TaskOutcome,
+    Telemetry,
+    run_tasks,
+)
 from repro.errors import (
     AnalysisError,
     ConfigError,
@@ -74,6 +87,15 @@ __all__ = [
     "Experiment",
     "MultiRunResult",
     "run_repeated",
+    "SweepResult",
+    "sweep",
+    "FaultPolicy",
+    "ResultCache",
+    "Task",
+    "TaskFailure",
+    "TaskOutcome",
+    "Telemetry",
+    "run_tasks",
     "CpiBreakdown",
     "DataStallBreakdown",
     "MissCounters",

@@ -2,16 +2,25 @@
 
 Subcommands::
 
-    jmmw figures [IDS...] [--quick]   reproduce paper figures (default all)
-    jmmw characterize WORKLOAD [-p N] one-call workload characterization
+    jmmw figures [IDS...] [--quick] [--jobs N] [--no-cache] [--trace P]
+                                       reproduce paper figures (default all)
+    jmmw characterize WORKLOAD [-p N] [--runs R] [--jobs N] ...
+                                       one-call workload characterization
     jmmw info                          inventory: machine, workloads, figures
+
+Figure and replica execution goes through :mod:`repro.harness`:
+``--jobs N`` fans independent work across N worker processes (results
+are bit-identical to serial), results are cached on disk keyed by
+config + code version (``--no-cache`` disables), and ``--trace PATH``
+writes a JSONL event trace.  The harness summary table goes to stderr
+so stdout stays byte-stable across serial, parallel and cached runs.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
+from functools import partial
 
 from repro.core.config import E6000, SimConfig
 
@@ -37,26 +46,54 @@ def _figure_ids() -> dict[str, str]:
     return {name.split("_", 1)[0]: name for name in FIGURE_MODULES}
 
 
+def _make_harness(args: argparse.Namespace):
+    """(cache, telemetry) from the shared --no-cache/--trace flags."""
+    from repro.harness import ResultCache, Telemetry, default_cache_dir
+
+    cache = None if args.no_cache else ResultCache(default_cache_dir())
+    try:
+        telemetry = Telemetry(args.trace)
+    except OSError as exc:
+        print(f"cannot open trace file {args.trace!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return cache, telemetry
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Reproduce the requested figures; non-zero exit on check failures."""
-    from repro.figures.common import FIGURE_SIM, QUICK_SIM
+    from repro.figures.common import FIGURE_SIM, QUICK_SIM, figure_checks
+    from repro.harness import run_tasks
+    from repro.harness.tasks import build_figure_tasks
 
     sim = QUICK_SIM if args.quick else FIGURE_SIM
     ids = _figure_ids()
     wanted = args.ids or sorted(ids)
-    failures = 0
     for fig_id in wanted:
         if fig_id not in ids:
             print(f"unknown figure {fig_id!r}; known: {', '.join(sorted(ids))}")
             return 2
-        module = importlib.import_module(f"repro.figures.{ids[fig_id]}")
-        result = module.run(sim)
-        print(result.render())
-        for claim, ok in module.checks(result):
+
+    cache, telemetry = _make_harness(args)
+    tasks = build_figure_tasks([ids[fig_id] for fig_id in wanted], sim)
+    outcomes = run_tasks(tasks, jobs=args.jobs, cache=cache, telemetry=telemetry)
+
+    failures = 0
+    errors = 0
+    for fig_id, outcome in zip(wanted, outcomes):
+        if not outcome.ok:
+            print(f"=== {fig_id}: FAILED to run ===")
+            print(f"  {outcome.failure}")
+            errors += 1
+            print()
+            continue
+        print(outcome.value.render())
+        for claim, ok in figure_checks(ids[fig_id], outcome.value):
             print(f'  [{"ok" if ok else "FAIL"}] {claim}')
             failures += 0 if ok else 1
         print()
-    return 1 if failures else 0
+    print(telemetry.render_summary(), file=sys.stderr)
+    telemetry.close()
+    return 1 if failures or errors else 0
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
@@ -66,8 +103,49 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     sim = None
     if args.quick:
         sim = SimConfig(seed=1234, refs_per_proc=80_000, warmup_fraction=0.5)
-    report = characterize(args.workload, n_procs=args.procs, sim=sim)
-    print(report.render())
+
+    if args.runs <= 1:
+        report = characterize(args.workload, n_procs=args.procs, sim=sim)
+        print(report.render())
+        return 0
+
+    # Multi-run characterization: replicas fan out through the harness
+    # and are reported Alameldeen-&-Wood style (mean ± std).  A replica
+    # that fails is excluded and reported, not fatal.
+    from repro.core.experiment import run_repeated
+    from repro.core.report import render_table
+    from repro.figures.common import FIGURE_SIM
+    from repro.harness import FaultPolicy
+    from repro.harness.tasks import characterize_cache_key, characterize_run_fn
+
+    sim = sim if sim is not None else FIGURE_SIM
+    cache, telemetry = _make_harness(args)
+    results = run_repeated(
+        characterize_run_fn(args.workload, args.procs, sim),
+        n_runs=args.runs,
+        seed=sim.seed,
+        jobs=args.jobs,
+        cache=cache,
+        cache_key_fn=partial(
+            characterize_cache_key, args.workload, args.procs, sim, sim.seed
+        ),
+        telemetry=telemetry,
+        faults=FaultPolicy(),
+    )
+    n_ok = next(iter(results.values())).n
+    print(
+        f"{args.workload} on {args.procs} processors (E6000-style), "
+        f"{n_ok}/{args.runs} replicas"
+    )
+    rows = [
+        (name, result.mean, result.std, result.n)
+        for name, result in sorted(results.items())
+    ]
+    print(render_table(["metric", "mean", "std", "n"], rows))
+    if n_ok < args.runs:
+        print(f"warning: {args.runs - n_ok} replica(s) failed; see trace")
+    print(telemetry.render_summary(), file=sys.stderr)
+    telemetry.close()
     return 0
 
 
@@ -81,6 +159,21 @@ def cmd_info(_: argparse.Namespace) -> int:
     return 0
 
 
+def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent runs (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything; skip the on-disk result cache",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSONL harness event trace to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``jmmw`` argument parser."""
     parser = argparse.ArgumentParser(prog="jmmw", description=__doc__)
@@ -91,12 +184,18 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--quick", action="store_true", help="reduced simulation effort"
     )
+    _add_harness_flags(figures)
     figures.set_defaults(fn=cmd_figures)
 
     character = sub.add_parser("characterize", help="characterize one workload")
     character.add_argument("workload", choices=["specjbb", "ecperf"])
     character.add_argument("-p", "--procs", type=int, default=8)
     character.add_argument("--quick", action="store_true")
+    character.add_argument(
+        "-n", "--runs", type=int, default=1, metavar="R",
+        help="replicas for mean ± std reporting (default 1)",
+    )
+    _add_harness_flags(character)
     character.set_defaults(fn=cmd_characterize)
 
     info = sub.add_parser("info", help="show the modeled system inventory")

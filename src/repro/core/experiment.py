@@ -9,16 +9,30 @@ standard deviations (the paper's error bars).
 Here a *run* is a callable taking an :class:`~repro.rng.RngFactory`
 (already perturbed with a distinct ``run_index``) and returning either
 a float or a mapping of named floats.
+
+Replicas are independent, so they parallelize: pass ``jobs > 1`` (plus
+an optional cache, telemetry and fault policy) and the runs fan out
+through :mod:`repro.harness`.  Because each replica's perturbation is
+fully determined by ``(seed, run_index)``, parallel samples are
+bit-identical to serial ones.  Under a fault policy, a replica that
+raises is excluded from the :class:`MultiRunResult` (and reported via
+telemetry) instead of aborting the experiment — the run degrades to
+fewer samples.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.errors import AnalysisError
 from repro.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.cache import ResultCache
+    from repro.harness.faults import FaultPolicy
+    from repro.harness.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -63,35 +77,90 @@ class MultiRunResult:
 RunFn = Callable[[RngFactory], Mapping[str, float] | float]
 
 
-def run_repeated(
-    fn: RunFn, n_runs: int, seed: int = 1234, name: str = "value"
-) -> dict[str, MultiRunResult]:
-    """Run ``fn`` ``n_runs`` times with perturbed RNG factories.
+def _as_items(result: Mapping[str, float] | float, name: str) -> list[tuple[str, float]]:
+    if isinstance(result, Mapping):
+        return [(key, float(value)) for key, value in result.items()]
+    return [(name, float(result))]
 
-    Returns one :class:`MultiRunResult` per named quantity.  A run
-    returning a bare float is recorded under ``name``.
-    """
-    if n_runs <= 0:
-        raise AnalysisError("n_runs must be positive")
+
+def _collect(
+    per_run: list[list[tuple[str, float]]],
+) -> dict[str, MultiRunResult]:
     collected: dict[str, list[float]] = {}
     expected_keys: set[str] | None = None
-    for run_index in range(n_runs):
-        result = fn(RngFactory(seed=seed, run_index=run_index))
-        if isinstance(result, Mapping):
-            items = list(result.items())
-        else:
-            items = [(name, float(result))]
+    for items in per_run:
         keys = {key for key, _ in items}
         if expected_keys is None:
             expected_keys = keys
         elif keys != expected_keys:
             raise AnalysisError("runs reported inconsistent sets of quantities")
         for key, value in items:
-            collected.setdefault(key, []).append(float(value))
+            collected.setdefault(key, []).append(value)
     return {
         key: MultiRunResult(name=key, samples=tuple(values))
         for key, values in collected.items()
     }
+
+
+def run_repeated(
+    fn: RunFn,
+    n_runs: int,
+    seed: int = 1234,
+    name: str = "value",
+    *,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+    cache_key_fn: Callable[[int], str] | None = None,
+    telemetry: "Telemetry | None" = None,
+    faults: "FaultPolicy | None" = None,
+) -> dict[str, MultiRunResult]:
+    """Run ``fn`` ``n_runs`` times with perturbed RNG factories.
+
+    Returns one :class:`MultiRunResult` per named quantity.  A run
+    returning a bare float is recorded under ``name``.
+
+    With the defaults the replicas run inline and an exception in any
+    replica propagates (the historical behavior).  Passing ``jobs``,
+    ``cache``, ``telemetry`` or ``faults`` routes the replicas through
+    :func:`repro.harness.run_tasks`: ``fn`` must then be picklable for
+    ``jobs > 1`` (the harness falls back to serial execution if not),
+    ``cache_key_fn(run_index)`` opts replicas into result caching, and
+    failed replicas are *excluded* from the samples rather than fatal —
+    only if every replica fails does this raise
+    :class:`~repro.errors.AnalysisError`.
+    """
+    if n_runs <= 0:
+        raise AnalysisError("n_runs must be positive")
+
+    use_harness = (
+        jobs > 1 or cache is not None or telemetry is not None or faults is not None
+    )
+    if not use_harness:
+        per_run = [
+            _as_items(fn(RngFactory(seed=seed, run_index=run_index)), name)
+            for run_index in range(n_runs)
+        ]
+        return _collect(per_run)
+
+    from repro.harness.runner import Task, run_tasks
+
+    tasks = [
+        Task(
+            key=f"{name}/run{run_index}",
+            fn=fn,
+            args=(RngFactory(seed=seed, run_index=run_index),),
+            cache_key=cache_key_fn(run_index) if cache_key_fn is not None else None,
+        )
+        for run_index in range(n_runs)
+    ]
+    outcomes = run_tasks(
+        tasks, jobs=jobs, cache=cache, telemetry=telemetry, faults=faults
+    )
+    per_run = [_as_items(o.value, name) for o in outcomes if o.ok]
+    if not per_run:
+        first = next(o.failure for o in outcomes if not o.ok)
+        raise AnalysisError(f"all {n_runs} runs failed; first failure: {first}")
+    return _collect(per_run)
 
 
 @dataclass
@@ -100,17 +169,19 @@ class Experiment:
 
     Thin wrapper tying a run function to its repetition policy, so
     figure drivers can declare "this point is measured with n runs"
-    once and reuse it.
+    once and reuse it.  ``jobs`` fans the replicas out through the
+    harness (see :func:`run_repeated`).
     """
 
     name: str
     fn: RunFn
     n_runs: int = 1
     seed: int = 1234
+    jobs: int = 1
     results: dict[str, MultiRunResult] = field(default_factory=dict)
 
     def run(self) -> dict[str, MultiRunResult]:
         self.results = run_repeated(
-            self.fn, n_runs=self.n_runs, seed=self.seed, name=self.name
+            self.fn, n_runs=self.n_runs, seed=self.seed, name=self.name, jobs=self.jobs
         )
         return self.results

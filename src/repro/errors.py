@@ -40,3 +40,12 @@ class WorkloadError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot interpret."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness could not execute a batch of tasks.
+
+    Raised for harness-level misuse (duplicate task keys, invalid
+    fault policies) — never for an individual task raising, which the
+    harness captures as a :class:`repro.harness.TaskFailure` instead.
+    """

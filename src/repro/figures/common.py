@@ -48,6 +48,32 @@ class FigureResult:
         return "\n".join(parts)
 
 
+def run_figure(module_name: str, sim: SimConfig) -> FigureResult:
+    """Run one figure driver by module name (``"fig04_scaling"``).
+
+    Module-level and argument-closed, so it pickles cleanly: this is
+    the function the harness ships to worker processes when ``jmmw
+    figures --jobs N`` fans figures out in parallel.
+    """
+    import importlib
+
+    module = importlib.import_module(f"repro.figures.{module_name}")
+    return module.run(sim)
+
+
+def figure_checks(module_name: str, result: FigureResult) -> list[tuple[str, bool]]:
+    """Evaluate a figure module's shape checks against ``result``.
+
+    Runs in the parent process (checks are cheap); cached figure
+    results are re-checked on every invocation so a stale cache can
+    never hide a failing claim.
+    """
+    import importlib
+
+    module = importlib.import_module(f"repro.figures.{module_name}")
+    return module.checks(result)
+
+
 def make_workload(name: str, scale: int | None = None):
     """Instantiate a workload by name at an optional scale factor."""
     if name == "specjbb":

@@ -1,0 +1,59 @@
+"""Parallel experiment harness.
+
+The execution layer under every sweep, figure and multi-run experiment:
+
+- :mod:`repro.harness.runner` — process-pool engine with deterministic
+  per-task seeding (parallel results are bit-identical to serial);
+- :mod:`repro.harness.cache` — content-addressed on-disk result cache
+  keyed by config + workload + replica + code version;
+- :mod:`repro.harness.telemetry` — JSONL event tracing and
+  hierarchical counters with an end-of-run summary table;
+- :mod:`repro.harness.faults` — per-task timeout, bounded retry, and
+  graceful degradation (a failed replica is reported, not fatal);
+- :mod:`repro.harness.tasks` — the picklable task functions the CLI
+  and experiment layer fan out.
+
+Quickstart::
+
+    from repro.harness import FaultPolicy, Task, Telemetry, run_tasks
+
+    tasks = [Task(key=f"p{p}", fn=measure, args=(p,)) for p in (1, 2, 4, 8)]
+    outcomes = run_tasks(tasks, jobs=4, faults=FaultPolicy(max_attempts=2))
+    values = {o.key: o.value for o in outcomes if o.ok}
+"""
+
+from repro.harness.cache import (
+    ResultCache,
+    code_version,
+    content_key,
+    default_cache_dir,
+    sim_fields,
+)
+from repro.harness.faults import (
+    KIND_BROKEN_POOL,
+    KIND_ERROR,
+    KIND_TIMEOUT,
+    FaultPolicy,
+    TaskFailure,
+)
+from repro.harness.runner import Task, TaskOutcome, run_tasks
+from repro.harness.telemetry import Telemetry, iter_trace, read_trace
+
+__all__ = [
+    "ResultCache",
+    "code_version",
+    "content_key",
+    "default_cache_dir",
+    "sim_fields",
+    "KIND_BROKEN_POOL",
+    "KIND_ERROR",
+    "KIND_TIMEOUT",
+    "FaultPolicy",
+    "TaskFailure",
+    "Task",
+    "TaskOutcome",
+    "run_tasks",
+    "Telemetry",
+    "iter_trace",
+    "read_trace",
+]

@@ -1,0 +1,148 @@
+"""Content-addressed on-disk result cache.
+
+A measurement is fully determined by its inputs: the simulation config,
+the workload, the replica index — and the code that ran it.  The cache
+keys each result by a SHA-256 over exactly those, so ``jmmw figures``
+re-runs only what changed: edit a simulator module and every key
+changes (the code-version component); tweak one figure's SimConfig and
+only that figure misses.
+
+Entries are pickled payloads under ``<root>/<k[:2]>/<k>.pkl`` (fan-out
+keeps directories small).  Writes are atomic (temp file + rename) so a
+killed run never leaves a truncated entry; unreadable entries are
+treated as misses and deleted.  The cache root resolves, in order, from
+``JMMW_CACHE_DIR``, ``$XDG_CACHE_HOME/jmmw``, ``~/.cache/jmmw``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import SimConfig
+
+#: Bump when the on-disk payload layout changes.
+CACHE_FORMAT = 1
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """SHA-256 over every ``repro`` source file (memoized per process).
+
+    Any edit anywhere in the package invalidates the whole cache —
+    coarse, but sound: a result can never be served by code that did
+    not produce it.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+def sim_fields(sim: SimConfig) -> dict[str, Any]:
+    """SimConfig as a plain dict, for inclusion in a cache key."""
+    return dataclasses.asdict(sim)
+
+
+def content_key(**fields: Any) -> str:
+    """SHA-256 key over canonical JSON of ``fields`` + the code version.
+
+    Values must be JSON-serializable; pass SimConfigs through
+    :func:`sim_fields`.  Key order does not matter (keys are sorted).
+    """
+    payload = {"__code__": code_version(), "__format__": CACHE_FORMAT}
+    for name, value in fields.items():
+        if isinstance(value, SimConfig):
+            value = sim_fields(value)
+        payload[name] = value
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Where the CLI keeps its cache unless ``JMMW_CACHE_DIR`` says else."""
+    override = os.environ.get("JMMW_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "jmmw"
+
+
+#: Sentinel distinguishing "miss" from a cached ``None``.
+_MISS = object()
+
+
+class ResultCache:
+    """Pickle-backed key-value store addressed by :func:`content_key`."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        value = self._load(key)
+        if value is _MISS:
+            return False, None
+        return True, value
+
+    def _load(self, key: str) -> Any:
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return _MISS
+        except Exception:
+            # Truncated or stale-format entry: drop it and treat as miss.
+            path.unlink(missing_ok=True)
+            return _MISS
+        if not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT:
+            path.unlink(missing_ok=True)
+            return _MISS
+        return payload["value"]
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` atomically under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": CACHE_FORMAT, "key": key, "value": value}
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._load(key) is not _MISS
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> None:
+        for entry in self.root.glob("*/*.pkl"):
+            entry.unlink(missing_ok=True)

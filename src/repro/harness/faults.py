@@ -1,0 +1,78 @@
+"""Fault-tolerance policy for harness tasks.
+
+Long measurement campaigns (hundreds of sweep points x replicas) must
+survive an occasional bad task: a replica that trips a simulator
+invariant, a worker process that dies, a run that hangs.  The policy
+here is deliberately simple and deterministic — bounded retry with
+exponential backoff, an optional per-task wall-clock timeout — and the
+outcome of a task that exhausts it is a :class:`TaskFailure` *record*,
+not an exception: the runner reports the failure and the rest of the
+batch completes (graceful degradation).
+
+Two caveats, both documented on :class:`FaultPolicy`:
+
+- pure-Python workers cannot be preempted, so in serial (``jobs=1``)
+  execution the timeout is advisory (checked after the fact), and in
+  pool execution a timed-out task's worker slot stays busy until the
+  task actually returns;
+- timeouts are not retried — a deterministic task that exceeded its
+  budget once will exceed it again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Failure kinds recorded by the runner.
+KIND_ERROR = "error"  # the task function raised
+KIND_TIMEOUT = "timeout"  # wall clock exceeded FaultPolicy.timeout_s
+KIND_BROKEN_POOL = "broken-pool"  # the worker process died
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the runner treats a task that fails.
+
+    ``max_attempts`` counts the first try: the default policy (1) never
+    retries.  ``timeout_s`` is a per-attempt wall-clock budget; ``None``
+    disables it.  Retry delays grow as
+    ``backoff_s * backoff_factor ** (attempt - 1)``.
+    """
+
+    timeout_s: float | None = None
+    max_attempts: int = 1
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError("timeout_s must be positive (or None)")
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be at least 1")
+        if self.backoff_s < 0:
+            raise ConfigError("backoff_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether a failure on ``attempt`` (1-based) warrants another try."""
+        return attempt < self.max_attempts
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the retry following ``attempt`` (1-based)."""
+        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Why one task ultimately failed (after any retries)."""
+
+    key: str
+    kind: str  # KIND_ERROR, KIND_TIMEOUT or KIND_BROKEN_POOL
+    error: str  # repr of the exception, or a timeout description
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.key}: {self.kind} after {self.attempts} attempt(s): {self.error}"

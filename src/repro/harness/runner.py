@@ -1,0 +1,315 @@
+"""Parallel experiment engine.
+
+Fans a batch of independent :class:`Task`\\ s — sweep points, replica
+runs, whole figures — across CPUs with a
+:class:`~concurrent.futures.ProcessPoolExecutor`, consulting a
+:class:`~repro.harness.cache.ResultCache` first and recording every
+step through :class:`~repro.harness.telemetry.Telemetry`.
+
+Determinism is the design center: a task carries *all* of its inputs
+(including any RNG seeding, typically an
+:class:`~repro.rng.RngFactory` pre-perturbed with the replica's
+``run_index``), workers add nothing, and outcomes are returned in task
+order — so ``jobs=1`` and ``jobs=8`` produce bit-identical results and
+the cache can address results by input content alone.
+
+Execution falls back to in-process serial mode when ``jobs <= 1`` or
+when a task is not picklable (e.g. a closure), with a telemetry event
+so silent degradation never masquerades as parallel speedup.  Worker
+crashes (``BrokenProcessPool``) fail the affected tasks — recorded,
+not raised — and the rest of the batch completes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import HarnessError
+from repro.harness.cache import ResultCache
+from repro.harness.faults import (
+    KIND_BROKEN_POOL,
+    KIND_ERROR,
+    KIND_TIMEOUT,
+    FaultPolicy,
+    TaskFailure,
+)
+from repro.harness.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of harness work: a picklable callable plus arguments.
+
+    ``key`` must be unique within a batch; it names the task in
+    telemetry and indexes its outcome.  ``cache_key`` (from
+    :func:`~repro.harness.cache.content_key`) opts the task into result
+    caching; ``None`` means always recompute.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    cache_key: str | None = None
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What happened to one task: a value, or a recorded failure."""
+
+    key: str
+    value: Any = None
+    failure: TaskFailure | None = None
+    wall_s: float = 0.0
+    attempts: int = 0
+    cached: bool = False
+    worker: int | None = None  # pid that ran the task
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def _invoke(fn: Callable[..., Any], args: tuple, kwargs: dict) -> tuple[Any, float, int]:
+    """Worker-side entry: run the task, measure it, report the pid."""
+    t0 = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - t0, os.getpid()
+
+
+def _is_picklable(task: Task) -> bool:
+    try:
+        pickle.dumps((task.fn, task.args, dict(task.kwargs)))
+        return True
+    except Exception:
+        return False
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Start method for worker processes.
+
+    ``fork`` where it is safe (Linux) because it avoids re-importing
+    numpy in every worker; ``spawn`` elsewhere.  Overridable with the
+    ``JMMW_MP_START`` environment variable.
+    """
+    method = os.environ.get("JMMW_MP_START")
+    if not method:
+        if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        else:
+            method = "spawn"
+    return multiprocessing.get_context(method)
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    telemetry: Telemetry | None = None,
+    faults: FaultPolicy | None = None,
+) -> list[TaskOutcome]:
+    """Execute a batch of tasks; outcomes are returned in task order.
+
+    A task that fails (after the fault policy's retries) yields an
+    outcome with ``ok == False`` — the call itself raises only for
+    harness misuse (duplicate keys).  Successful, previously-uncached
+    results are written back to ``cache``.
+    """
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    faults = faults if faults is not None else FaultPolicy()
+    keys = [task.key for task in tasks]
+    if len(set(keys)) != len(keys):
+        raise HarnessError("duplicate task keys in batch")
+
+    outcomes: dict[str, TaskOutcome] = {}
+    pending: list[Task] = []
+    for task in tasks:
+        if cache is not None and task.cache_key is not None:
+            hit, value = cache.get(task.cache_key)
+            if hit:
+                telemetry.emit("cache/hit", task=task.key)
+                outcomes[task.key] = TaskOutcome(key=task.key, value=value, cached=True)
+                continue
+            telemetry.emit("cache/miss", task=task.key)
+        pending.append(task)
+
+    effective_jobs = max(1, int(jobs))
+    if effective_jobs > 1 and pending:
+        unpicklable = [task.key for task in pending if not _is_picklable(task)]
+        if unpicklable:
+            telemetry.emit(
+                "run/serial-fallback", tasks=unpicklable, reason="not picklable"
+            )
+            effective_jobs = 1
+
+    if effective_jobs <= 1:
+        for task in pending:
+            outcomes[task.key] = _run_one_serial(task, telemetry, faults)
+    elif pending:
+        _run_pool(pending, effective_jobs, telemetry, faults, outcomes)
+
+    if cache is not None:
+        for task in tasks:
+            outcome = outcomes[task.key]
+            if outcome.ok and not outcome.cached and task.cache_key is not None:
+                cache.put(task.cache_key, outcome.value)
+
+    for outcome in outcomes.values():
+        telemetry.incr("task/ok" if outcome.ok else "task/failed")
+    return [outcomes[key] for key in keys]
+
+
+def _run_one_serial(task: Task, telemetry: Telemetry, faults: FaultPolicy) -> TaskOutcome:
+    """In-process execution with retries; timeouts are advisory only."""
+    attempt = 0
+    while True:
+        attempt += 1
+        telemetry.emit("task/start", task=task.key, attempt=attempt, worker=os.getpid())
+        try:
+            value, wall_s, pid = _invoke(task.fn, task.args, dict(task.kwargs))
+        except Exception as exc:
+            telemetry.emit(
+                "task/error", task=task.key, attempt=attempt, error=repr(exc)
+            )
+            if faults.should_retry(attempt):
+                telemetry.emit("task/retry", task=task.key, attempt=attempt)
+                time.sleep(faults.delay(attempt))
+                continue
+            return TaskOutcome(
+                key=task.key,
+                failure=TaskFailure(
+                    key=task.key, kind=KIND_ERROR, error=repr(exc), attempts=attempt
+                ),
+                attempts=attempt,
+            )
+        if faults.timeout_s is not None and wall_s > faults.timeout_s:
+            # Serial mode cannot preempt; flag the overrun but keep the result.
+            telemetry.emit(
+                "task/overtime", task=task.key, wall_s=round(wall_s, 6),
+                timeout_s=faults.timeout_s,
+            )
+        telemetry.emit(
+            "task/end", task=task.key, attempt=attempt, wall_s=round(wall_s, 6),
+            worker=pid,
+        )
+        return TaskOutcome(
+            key=task.key, value=value, wall_s=wall_s, attempts=attempt, worker=pid
+        )
+
+
+def _run_pool(
+    tasks: Sequence[Task],
+    jobs: int,
+    telemetry: Telemetry,
+    faults: FaultPolicy,
+    outcomes: dict[str, TaskOutcome],
+) -> None:
+    """Fan tasks over a process pool; record failures, never raise."""
+    max_workers = min(jobs, len(tasks))
+    telemetry.emit("run/pool", jobs=max_workers, tasks=len(tasks))
+    inflight: dict[Future, tuple[Task, int, float]] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers, mp_context=_mp_context()) as pool:
+
+            def submit(task: Task, attempt: int) -> None:
+                telemetry.emit("task/start", task=task.key, attempt=attempt)
+                future = pool.submit(_invoke, task.fn, task.args, dict(task.kwargs))
+                inflight[future] = (task, attempt, time.monotonic())
+
+            for task in tasks:
+                submit(task, attempt=1)
+
+            while inflight:
+                tick = 0.05 if faults.timeout_s is not None else None
+                done, _ = wait(set(inflight), timeout=tick, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, attempt, _t0 = inflight.pop(future)
+                    try:
+                        value, wall_s, pid = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:
+                        telemetry.emit(
+                            "task/error", task=task.key, attempt=attempt,
+                            error=repr(exc),
+                        )
+                        if faults.should_retry(attempt):
+                            telemetry.emit("task/retry", task=task.key, attempt=attempt)
+                            time.sleep(faults.delay(attempt))
+                            submit(task, attempt + 1)
+                        else:
+                            outcomes[task.key] = TaskOutcome(
+                                key=task.key,
+                                failure=TaskFailure(
+                                    key=task.key, kind=KIND_ERROR, error=repr(exc),
+                                    attempts=attempt,
+                                ),
+                                attempts=attempt,
+                            )
+                        continue
+                    telemetry.emit(
+                        "task/end", task=task.key, attempt=attempt,
+                        wall_s=round(wall_s, 6), worker=pid,
+                    )
+                    outcomes[task.key] = TaskOutcome(
+                        key=task.key, value=value, wall_s=wall_s, attempts=attempt,
+                        worker=pid,
+                    )
+                if faults.timeout_s is None:
+                    continue
+                now = time.monotonic()
+                for future in list(inflight):
+                    task, attempt, t0 = inflight[future]
+                    if now - t0 <= faults.timeout_s:
+                        continue
+                    # A running worker cannot be preempted: cancel if still
+                    # queued, otherwise abandon the future (its eventual
+                    # result is discarded) and fail the task.  Timeouts are
+                    # deterministic overruns, so they are not retried.
+                    future.cancel()
+                    del inflight[future]
+                    telemetry.emit(
+                        "task/timeout", task=task.key, attempt=attempt,
+                        timeout_s=faults.timeout_s,
+                    )
+                    outcomes[task.key] = TaskOutcome(
+                        key=task.key,
+                        failure=TaskFailure(
+                            key=task.key, kind=KIND_TIMEOUT,
+                            error=f"exceeded {faults.timeout_s}s", attempts=attempt,
+                        ),
+                        attempts=attempt,
+                    )
+    except BrokenProcessPool:
+        telemetry.emit("run/broken-pool", tasks=[t.key for t, _, _ in inflight.values()])
+        for task, attempt, _t0 in inflight.values():
+            if task.key in outcomes:
+                continue
+            outcomes[task.key] = TaskOutcome(
+                key=task.key,
+                failure=TaskFailure(
+                    key=task.key, kind=KIND_BROKEN_POOL,
+                    error="worker process died", attempts=attempt,
+                ),
+                attempts=attempt,
+            )
+    # Whatever the pool did, every task must have an outcome.
+    for task in tasks:
+        if task.key not in outcomes:
+            outcomes[task.key] = TaskOutcome(
+                key=task.key,
+                failure=TaskFailure(
+                    key=task.key, kind=KIND_BROKEN_POOL,
+                    error="task lost to pool shutdown", attempts=1,
+                ),
+                attempts=1,
+            )

@@ -1,0 +1,81 @@
+"""Picklable task functions and task builders.
+
+Process pools ship tasks to workers by pickling ``(fn, args)``, which
+rules out closures — so the standard units of work (run a figure,
+characterize one replica of a workload) live here as module-level
+functions, together with the builders that wrap them into
+:class:`~repro.harness.runner.Task` batches with content-addressed
+cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import partial
+
+from repro.core.config import SimConfig
+from repro.harness.cache import content_key
+from repro.harness.runner import Task
+from repro.rng import RngFactory
+
+
+def figure_cache_key(module_name: str, sim: SimConfig) -> str:
+    """Cache key for one figure at one simulation effort."""
+    return content_key(kind="figure", module=module_name, sim=sim)
+
+
+def build_figure_tasks(module_names: list[str], sim: SimConfig) -> list[Task]:
+    """One harness task per figure module, keyed by figure id."""
+    from repro.figures.common import run_figure
+
+    return [
+        Task(
+            key=name.split("_", 1)[0],
+            fn=run_figure,
+            args=(name, sim),
+            cache_key=figure_cache_key(name, sim),
+        )
+        for name in module_names
+    ]
+
+
+def characterize_replica(
+    workload: str, n_procs: int, sim: SimConfig, factory: RngFactory
+) -> dict[str, float]:
+    """One replica of a workload characterization, as named quantities.
+
+    The replica's entire perturbation comes from ``factory`` (seed +
+    ``run_index``), which re-seeds the simulation through a drawn
+    sub-seed — the Alameldeen–Wood discipline.  Deterministic given
+    ``(sim.seed, run_index)`` regardless of which process runs it.
+    """
+    from repro.core.characterize import characterize
+
+    sub_seed = int(factory.stream("characterize-replica").integers(1, 2**31))
+    report = characterize(workload, n_procs=n_procs, sim=replace(sim, seed=sub_seed))
+    return {
+        "l1i_mpki": report.l1i_mpki,
+        "l1d_mpki": report.l1d_mpki,
+        "l2_data_mpki": report.l2_data_mpki,
+        "c2c_ratio": report.c2c_ratio,
+        "cpi": report.cpi.total,
+    }
+
+
+def characterize_run_fn(workload: str, n_procs: int, sim: SimConfig):
+    """A picklable ``RunFn`` for :func:`repro.core.experiment.run_repeated`."""
+    return partial(characterize_replica, workload, n_procs, sim)
+
+
+def characterize_cache_key(
+    workload: str, n_procs: int, sim: SimConfig, seed: int, run_index: int
+) -> str:
+    """Cache key for one characterization replica."""
+    return content_key(
+        kind="characterize-replica",
+        workload=workload,
+        n_procs=n_procs,
+        sim=sim,
+        seed=seed,
+        run_index=run_index,
+    )

@@ -1,0 +1,91 @@
+"""Run telemetry: JSONL event tracing plus hierarchical counters.
+
+Every harness run emits a stream of structured events — task start and
+end, wall time, cache hits and misses, worker ids, failures — that can
+be written to a JSONL trace file (``jmmw figures --trace PATH``) and is
+always aggregated into counters.  Counter names are hierarchical
+(``task/ok``, ``cache/hit``) so the end-of-run summary table groups
+naturally.
+
+The tracer is deliberately parent-side only: workers return their
+measurements (wall time, pid) with the task result and the parent
+records them, so a trace file is written by exactly one process and
+needs no cross-process locking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.report import render_table
+
+
+class Telemetry:
+    """Collects harness events; optionally streams them to a JSONL file.
+
+    >>> tel = Telemetry()                  # counters only, no file
+    >>> tel.emit("task/ok", task="fig04", wall_s=1.5)
+    >>> tel.counters["task/ok"]
+    1
+    """
+
+    def __init__(self, trace_path: str | Path | None = None) -> None:
+        self.trace_path = Path(trace_path) if trace_path else None
+        self.counters: Counter[str] = Counter()
+        self._t0 = time.monotonic()
+        self._fh = None
+        if self.trace_path is not None:
+            self.trace_path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.trace_path.open("w", encoding="utf-8")
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Record one event: bump its counter, append to the trace."""
+        self.counters[event] += 1
+        if self._fh is not None:
+            record = {"t": round(time.monotonic() - self._t0, 6), "event": event}
+            record.update(fields)
+            self._fh.write(json.dumps(record, default=str) + "\n")
+            self._fh.flush()
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Bump a counter without emitting a trace record."""
+        self.counters[name] += n
+
+    def summary_rows(self) -> list[tuple[str, int]]:
+        """Counter values sorted by hierarchical name."""
+        return sorted(self.counters.items())
+
+    def render_summary(self) -> str:
+        """End-of-run counter table (see ``core/report.render_table``)."""
+        rows = self.summary_rows()
+        if not rows:
+            return "harness: no events recorded"
+        return render_table(["event", "count"], rows)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace file back into event dicts (test helper)."""
+    return list(iter_trace(path))
+
+
+def iter_trace(path: str | Path) -> Iterator[dict]:
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -8,6 +8,27 @@ from repro.core.config import SimConfig
 from repro.rng import RngFactory
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_result_cache(tmp_path_factory):
+    """Point the harness result cache at a per-session temp dir.
+
+    Keeps the suite from reading or writing ``~/.cache/jmmw`` — CLI
+    tests stay cold-start deterministic, and a stale user cache can
+    never mask a regression.  Tests that exercise the cache explicitly
+    override ``JMMW_CACHE_DIR`` themselves via ``monkeypatch``.
+    """
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("jmmw-cache")
+    previous = os.environ.get("JMMW_CACHE_DIR")
+    os.environ["JMMW_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("JMMW_CACHE_DIR", None)
+    else:
+        os.environ["JMMW_CACHE_DIR"] = previous
+
+
 @pytest.fixture
 def tiny_sim() -> SimConfig:
     """A simulation config small enough for unit tests."""

@@ -70,3 +70,20 @@ def test_experiment_wrapper():
     results = exp.run()
     assert results["demo"].mean == 42.0
     assert exp.results is results
+
+
+def _noise_run(factory):
+    return float(factory.stream("noise").random())
+
+
+def test_run_repeated_parallel_matches_serial():
+    serial = run_repeated(_noise_run, n_runs=4, seed=11)
+    parallel = run_repeated(_noise_run, n_runs=4, seed=11, jobs=4)
+    assert serial["value"].samples == parallel["value"].samples
+
+
+def test_experiment_with_jobs():
+    exp = Experiment(name="demo", fn=_noise_run, n_runs=3, seed=5, jobs=3)
+    assert exp.run()["demo"].samples == run_repeated(
+        _noise_run, n_runs=3, seed=5, name="demo"
+    )["demo"].samples

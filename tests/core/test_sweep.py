@@ -35,3 +35,52 @@ def test_validation():
         result.at(9)
     with pytest.raises(AnalysisError):
         SweepResult(knob="n", metric="m", points=())
+
+
+def test_at_uses_index_and_matches_scan():
+    result = sweep("n", list(range(200)), float)
+    assert result._index[150] == 150.0  # index built eagerly
+    assert result.at(150) == 150.0
+    assert result.at(0) == 0.0  # zero metric value is not a miss
+
+
+def test_at_duplicate_knob_values_first_wins():
+    result = SweepResult(knob="n", metric="m", points=((1, 10.0), (1, 20.0)))
+    assert result.at(1) == 10.0
+
+
+def test_at_unhashable_knob_falls_back_to_scan():
+    result = SweepResult(knob="cfg", metric="m", points=(([1, 2], 5.0),))
+    assert result.at([1, 2]) == 5.0
+    with pytest.raises(AnalysisError):
+        result.at([3])
+
+
+def test_argbest_breaks_ties_toward_earliest_point():
+    tied = SweepResult(
+        knob="n", metric="m", points=(("a", 2.0), ("b", 1.0), ("c", 1.0), ("d", 2.0))
+    )
+    assert tied.argbest() == "b"  # first of the 1.0 tie
+    assert tied.argbest(maximize=True) == "a"  # first of the 2.0 tie
+
+
+def _cube(n) -> float:
+    return float(n) ** 3
+
+
+def test_parallel_sweep_matches_serial():
+    values = [1, 2, 3, 4, 5]
+    serial = sweep("n", values, _cube)
+    parallel = sweep("n", values, _cube, jobs=2)
+    assert parallel.points == serial.points
+
+
+def _fail_on_three(n) -> float:
+    if n == 3:
+        raise ValueError("bad point")
+    return float(n)
+
+
+def test_parallel_sweep_failed_point_raises():
+    with pytest.raises(AnalysisError, match="sweep over n failed"):
+        sweep("n", [1, 2, 3], _fail_on_three, jobs=2)

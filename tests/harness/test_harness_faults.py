@@ -1,0 +1,90 @@
+"""Fault policy: validation, backoff, timeouts, worker death."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import (
+    KIND_BROKEN_POOL,
+    KIND_TIMEOUT,
+    FaultPolicy,
+    Task,
+    TaskFailure,
+    Telemetry,
+    run_tasks,
+)
+
+
+def sleep_for(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def kill_worker(_: int) -> None:
+    os._exit(17)  # simulates a segfaulting / OOM-killed worker
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigError):
+        FaultPolicy(timeout_s=0)
+    with pytest.raises(ConfigError):
+        FaultPolicy(max_attempts=0)
+    with pytest.raises(ConfigError):
+        FaultPolicy(backoff_s=-1)
+    with pytest.raises(ConfigError):
+        FaultPolicy(backoff_factor=0.5)
+
+
+def test_backoff_schedule():
+    policy = FaultPolicy(max_attempts=3, backoff_s=0.1, backoff_factor=2.0)
+    assert policy.delay(1) == pytest.approx(0.1)
+    assert policy.delay(2) == pytest.approx(0.2)
+    assert policy.should_retry(1) and policy.should_retry(2)
+    assert not policy.should_retry(3)
+
+
+def test_task_failure_str():
+    failure = TaskFailure(key="fig04", kind="error", error="ValueError('x')", attempts=2)
+    text = str(failure)
+    assert "fig04" in text and "2 attempt" in text and "ValueError" in text
+
+
+def test_pool_timeout_fails_slow_task_only():
+    telemetry = Telemetry()
+    tasks = [
+        Task(key="slow", fn=sleep_for, args=(0.8,)),
+        Task(key="fast", fn=sleep_for, args=(0.01,)),
+    ]
+    outcomes = run_tasks(
+        tasks, jobs=2, faults=FaultPolicy(timeout_s=0.2), telemetry=telemetry
+    )
+    by_key = {o.key: o for o in outcomes}
+    assert by_key["fast"].ok
+    assert not by_key["slow"].ok
+    assert by_key["slow"].failure.kind == KIND_TIMEOUT
+    assert telemetry.counters["task/timeout"] == 1
+
+
+def test_serial_timeout_is_advisory():
+    # jobs=1 cannot preempt: the result is kept, the overrun recorded.
+    telemetry = Telemetry()
+    outcomes = run_tasks(
+        [Task(key="slow", fn=sleep_for, args=(0.1,))],
+        jobs=1,
+        faults=FaultPolicy(timeout_s=0.01),
+        telemetry=telemetry,
+    )
+    assert outcomes[0].ok and outcomes[0].value == 0.1
+    assert telemetry.counters["task/overtime"] == 1
+
+
+def test_worker_death_degrades_gracefully():
+    telemetry = Telemetry()
+    outcomes = run_tasks(
+        [Task(key="die", fn=kill_worker, args=(0,))], jobs=2, telemetry=telemetry
+    )
+    assert not outcomes[0].ok
+    assert outcomes[0].failure.kind == KIND_BROKEN_POOL
+    assert telemetry.counters["run/broken-pool"] == 1

@@ -1,0 +1,64 @@
+"""JSONL event tracing and hierarchical counters."""
+
+import json
+
+from repro.harness import Telemetry, read_trace
+
+
+def test_counters_without_trace_file():
+    tel = Telemetry()
+    tel.emit("task/start", task="a")
+    tel.emit("task/end", task="a", wall_s=0.5)
+    tel.emit("task/start", task="b")
+    tel.incr("cache/hit", 3)
+    assert tel.counters["task/start"] == 2
+    assert tel.counters["cache/hit"] == 3
+    assert tel.trace_path is None
+
+
+def test_trace_file_records_events(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Telemetry(path) as tel:
+        tel.emit("task/start", task="fig04", attempt=1)
+        tel.emit("task/end", task="fig04", wall_s=1.25, worker=123)
+    events = read_trace(path)
+    assert [e["event"] for e in events] == ["task/start", "task/end"]
+    assert events[0]["task"] == "fig04"
+    assert events[1]["worker"] == 123
+    assert all("t" in e for e in events)  # relative timestamps
+    # every line is standalone JSON
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_trace_parent_dir_created(tmp_path):
+    path = tmp_path / "deep" / "dir" / "trace.jsonl"
+    with Telemetry(path) as tel:
+        tel.emit("x")
+    assert read_trace(path)[0]["event"] == "x"
+
+
+def test_incr_does_not_write_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Telemetry(path) as tel:
+        tel.incr("task/ok")
+    assert read_trace(path) == []
+    assert tel.counters["task/ok"] == 1
+
+
+def test_render_summary_table():
+    tel = Telemetry()
+    tel.emit("task/end")
+    tel.emit("task/end")
+    tel.emit("cache/hit")
+    text = tel.render_summary()
+    assert "event" in text and "count" in text
+    assert "task/end" in text and "2" in text
+    assert Telemetry().render_summary() == "harness: no events recorded"
+
+
+def test_non_json_fields_are_stringified(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Telemetry(path) as tel:
+        tel.emit("odd", value={1, 2})  # sets are not JSON-serializable
+    assert "odd" == read_trace(path)[0]["event"]

@@ -1,0 +1,83 @@
+"""Content-addressed result cache: keys, storage, invalidation."""
+
+from repro.core.config import SimConfig
+from repro.harness import ResultCache, code_version, content_key, default_cache_dir
+from repro.harness.tasks import figure_cache_key
+
+
+def test_content_key_is_stable_and_order_insensitive():
+    assert content_key(a=1, b="x") == content_key(b="x", a=1)
+
+
+def test_content_key_distinguishes_fields():
+    base = content_key(workload="specjbb", run_index=0)
+    assert content_key(workload="specjbb", run_index=1) != base
+    assert content_key(workload="ecperf", run_index=0) != base
+
+
+def test_content_key_covers_sim_config_fields():
+    sim = SimConfig(seed=1, refs_per_proc=1000)
+    assert content_key(sim=sim) == content_key(sim=SimConfig(seed=1, refs_per_proc=1000))
+    assert content_key(sim=sim) != content_key(sim=sim.with_refs(2000))
+    assert content_key(sim=sim) != content_key(sim=SimConfig(seed=2, refs_per_proc=1000))
+
+
+def test_figure_cache_key_varies_by_module_and_sim():
+    sim = SimConfig()
+    assert figure_cache_key("fig04_scaling", sim) != figure_cache_key(
+        "fig06_cpi", sim
+    )
+    assert figure_cache_key("fig04_scaling", sim) != figure_cache_key(
+        "fig04_scaling", sim.with_refs(999)
+    )
+
+
+def test_code_version_is_memoized_hex():
+    v = code_version()
+    assert v == code_version()
+    assert len(v) == 64 and int(v, 16) >= 0
+
+
+def test_round_trip_and_contains(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = content_key(x=1)
+    assert cache.get(key) == (False, None)
+    cache.put(key, {"rows": [(1, 2.0)]})
+    assert key in cache
+    hit, value = cache.get(key)
+    assert hit and value == {"rows": [(1, 2.0)]}
+    assert len(cache) == 1
+
+
+def test_cached_none_is_a_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = content_key(x="none")
+    cache.put(key, None)
+    assert cache.get(key) == (True, None)
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = content_key(x=2)
+    cache.put(key, 42)
+    path = cache._path(key)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key) == (False, None)
+    assert not path.exists()
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(3):
+        cache.put(content_key(x=i), i)
+    assert len(cache) == 3
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("JMMW_CACHE_DIR", str(tmp_path / "override"))
+    assert default_cache_dir() == tmp_path / "override"
+    monkeypatch.delenv("JMMW_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "jmmw"

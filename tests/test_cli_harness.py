@@ -1,0 +1,105 @@
+"""CLI harness integration: --jobs/--no-cache/--trace, smoke + degradation."""
+
+import json
+
+import pytest
+
+import repro.figures.common as common
+from repro.cli import main
+from repro.core.config import SimConfig
+
+#: Smallest effort at which fig04's shape checks pass with margin.
+SMOKE_SIM = SimConfig(seed=1234, refs_per_proc=25_000, warmup_fraction=0.5)
+
+
+@pytest.fixture
+def smoke_env(monkeypatch, tmp_path):
+    """Tiny --quick sim + private cache dir, so the smoke test is fast."""
+    monkeypatch.setattr(common, "QUICK_SIM", SMOKE_SIM)
+    monkeypatch.setenv("JMMW_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path
+
+
+def _events(path):
+    return [json.loads(line)["event"] for line in path.read_text().splitlines()]
+
+
+def test_figures_smoke_parallel_then_cached(smoke_env, capsys):
+    """`jmmw figures fig04 --quick --jobs 2` exits 0; second run hits cache."""
+    trace1 = smoke_env / "t1.jsonl"
+    argv = ["figures", "fig04", "--quick", "--jobs", "2"]
+    assert main(argv + ["--trace", str(trace1)]) == 0
+    first_out = capsys.readouterr().out
+    assert "fig04" in first_out and "[ok]" in first_out
+    assert "cache/miss" in _events(trace1)
+
+    trace2 = smoke_env / "t2.jsonl"
+    assert main(argv + ["--trace", str(trace2)]) == 0
+    second_out = capsys.readouterr().out
+    assert "cache/hit" in _events(trace2)
+    # cached stdout is byte-identical to the computed one
+    assert second_out == first_out
+
+
+def test_figures_no_cache_recomputes(smoke_env, capsys):
+    argv = ["figures", "fig04", "--quick", "--no-cache"]
+    trace1 = smoke_env / "t1.jsonl"
+    trace2 = smoke_env / "t2.jsonl"
+    assert main(argv + ["--trace", str(trace1)]) == 0
+    assert main(argv + ["--trace", str(trace2)]) == 0
+    out = capsys.readouterr()
+    for trace in (trace1, trace2):
+        events = _events(trace)
+        assert "cache/hit" not in events and "cache/miss" not in events
+        assert "task/end" in events
+
+
+def test_figures_harness_summary_goes_to_stderr(smoke_env, capsys):
+    assert main(["figures", "fig04", "--quick"]) == 0
+    captured = capsys.readouterr()
+    assert "event" in captured.err and "count" in captured.err
+    assert "event" not in captured.out.split("===")[0]
+
+
+def test_characterize_multirun_reports_error_bars(smoke_env, capsys):
+    rc = main(
+        ["characterize", "specjbb", "-p", "2", "--quick", "--runs", "3", "--jobs", "2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "3/3 replicas" in out
+    assert "mean" in out and "std" in out
+    assert "cpi" in out and "c2c_ratio" in out
+
+
+def test_characterize_injected_failure_degrades_gracefully(
+    smoke_env, monkeypatch, capsys
+):
+    """A raising replica is excluded + traced; exit stays 0 (no check failed)."""
+    import repro.harness.tasks as harness_tasks
+
+    real = harness_tasks.characterize_replica
+
+    def flaky(workload, n_procs, sim, factory):
+        if factory.run_index == 1:
+            raise RuntimeError("injected replica failure")
+        return real(workload, n_procs, sim, factory)
+
+    monkeypatch.setattr(harness_tasks, "characterize_replica", flaky)
+    trace = smoke_env / "trace.jsonl"
+    rc = main(
+        [
+            "characterize", "specjbb", "-p", "2", "--quick",
+            "--runs", "3", "--no-cache", "--trace", str(trace),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2/3 replicas" in out
+    assert "warning: 1 replica(s) failed" in out
+    failures = [
+        json.loads(line)
+        for line in trace.read_text().splitlines()
+        if json.loads(line)["event"] == "task/error"
+    ]
+    assert failures and "injected replica failure" in failures[0]["error"]
