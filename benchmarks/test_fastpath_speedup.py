@@ -1,0 +1,68 @@
+"""Fast-path replay gate: vectorized >= 3x scalar, bit-identical output.
+
+The parity assertion runs unconditionally — including under
+``--benchmark-disable``, which CI uses as a cheap smoke test.  The
+timing gate only applies when the benchmark is enabled, so a loaded CI
+box can't flake the suite on wall-clock noise while the contract that
+actually matters (identical results) is always enforced.
+
+Run the full gate with::
+
+    pytest benchmarks/test_fastpath_speedup.py --benchmark-only -s
+"""
+
+import time
+
+from bench_support import BENCH_SIM
+
+from repro.figures.common import make_workload
+from repro.memsys.multisim import simulate_miss_curve
+from repro.rng import RngFactory
+from repro.units import kb, mb
+
+#: The Figure 12/13 sweep geometries: 64 KB .. 16 MB, 4-way, 64 B.
+SIZES = [kb(64), kb(128), kb(256), kb(512), mb(1), mb(2), mb(4), mb(8), mb(16)]
+
+MIN_SPEEDUP = 3.0
+
+
+def _figure_trace():
+    workload = make_workload("specjbb", scale=10)
+    bundle = workload.generate(1, BENCH_SIM, RngFactory(seed=BENCH_SIM.seed))
+    return bundle.per_cpu[0]
+
+
+def _replay(trace, fastpath: bool):
+    return simulate_miss_curve(
+        trace, SIZES, kind="data", warmup_fraction=0.5, fastpath=fastpath
+    )
+
+
+def test_fastpath_replay_speedup(benchmark):
+    trace = _figure_trace()
+    fast_points = benchmark.pedantic(
+        _replay, args=(trace, True), iterations=1, rounds=1
+    )
+
+    t0 = time.perf_counter()
+    scalar_points = _replay(trace, False)
+    t_scalar = time.perf_counter() - t0
+
+    # The contract the fast path exists under: bit-identical points
+    # (dataclass equality covers the float mpki exactly).
+    assert fast_points == scalar_points
+
+    if not benchmark.enabled:
+        return  # smoke mode: parity checked, timing skipped
+    t0 = time.perf_counter()
+    _replay(trace, True)
+    t_fast = time.perf_counter() - t0
+    speedup = t_scalar / t_fast
+    print(
+        f"\nfig12/13 data replay ({len(SIZES)} geometries): "
+        f"scalar {t_scalar:.3f}s, vectorized {t_fast:.3f}s, {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized replay only {speedup:.2f}x faster than scalar "
+        f"(gate: {MIN_SPEEDUP}x)"
+    )

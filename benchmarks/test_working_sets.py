@@ -9,7 +9,7 @@ count a fully-associative cache needs for 90% of warm data hits.
 from bench_support import BENCH_SIM
 
 from repro.figures.common import make_workload
-from repro.memsys.block import IFETCH
+from repro.memsys.fastpath import block_stream
 from repro.memsys.stackdist import StackDistanceProfiler
 from repro.rng import RngFactory
 
@@ -21,8 +21,7 @@ def _working_sets() -> dict:
         sim = BENCH_SIM.with_refs(80_000)  # stack distance is O(n log n)
         bundle = workload.generate(1, sim, RngFactory(seed=sim.seed))
         profiler = StackDistanceProfiler()
-        blocks = [r >> 2 >> 6 for r in bundle.per_cpu[0] if r & 3 != IFETCH]
-        profiler.feed(blocks)
+        profiler.feed(block_stream(bundle.per_cpu[0], kind="data"))
         out[name] = {
             "ws90_blocks": profiler.working_set_size(0.90),
             "ws99_blocks": profiler.working_set_size(0.99),

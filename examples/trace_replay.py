@@ -33,7 +33,7 @@ def main() -> None:
         size_kb = path.stat().st_size / 1024
         print(f"captured {bundle.total_refs} refs -> {path.name} ({size_kb:.0f} KB)")
         reloaded = load_trace(path)
-    assert reloaded.per_cpu == bundle.per_cpu, "round trip must be exact"
+    assert reloaded.per_cpu_lists() == bundle.per_cpu_lists(), "round trip must be exact"
 
     print("\nreplaying one captured trace against three L2 designs:")
     print("L2 design            data MPKI   c2c ratio")

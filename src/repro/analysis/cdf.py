@@ -9,7 +9,9 @@ per-line C2C counts the coherence simulator collects.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.errors import AnalysisError
 
@@ -48,6 +50,36 @@ class CommunicationFootprint:
                 "communicating lines"
             )
 
+    @cached_property
+    def _sorted_counts(self) -> list[int]:
+        """Per-line counts, hottest first — computed once per instance.
+
+        (``cached_property`` stores into ``__dict__`` directly, which
+        works on frozen dataclasses; the counts dict is never mutated
+        after construction, so the memo can never go stale.)
+        """
+        return sorted(self.c2c_by_line.values(), reverse=True)
+
+    @cached_property
+    def _cumulative_shares(self) -> list[float]:
+        """Cumulative transfer shares over ``_sorted_counts``.
+
+        Every CDF query used to re-sort and re-scan the full per-line
+        map; they all read this memo now.  The running sum accumulates
+        *integers*, so with a nonzero total the last entry is exactly
+        1.0 — no float-drift fallthrough at ``share=1.0``.
+        """
+        ordered = self._sorted_counts
+        total = sum(ordered)
+        if total == 0:
+            return [0.0] * len(ordered)
+        shares = []
+        running = 0
+        for count in ordered:
+            running += count
+            shares.append(running / total)
+        return shares
+
     @property
     def total_transfers(self) -> int:
         return sum(self.c2c_by_line.values())
@@ -85,17 +117,16 @@ class CommunicationFootprint:
         if not 0.0 < fraction <= 1.0:
             raise AnalysisError("fraction must be in (0, 1]")
         n_top = max(1, int(fraction * self.touched_lines))
-        counts = sorted(self.c2c_by_line.values(), reverse=True)
-        total = sum(counts)
-        if total == 0:
+        shares = self._cumulative_shares
+        if not shares or shares[-1] == 0.0:
             return 0.0
-        return sum(counts[:n_top]) / total
+        return shares[min(n_top, len(shares)) - 1]
 
     def cdf_percent_of_touched(self) -> list[tuple[float, float]]:
         """Figure 14's curve: (percent of touched lines, cumulative share)."""
         if self.touched_lines == 0:
             return []
-        shares = cumulative_share(list(self.c2c_by_line.values()))
+        shares = self._cumulative_shares
         points = [
             (100.0 * (i + 1) / self.touched_lines, share)
             for i, share in enumerate(shares)
@@ -107,19 +138,21 @@ class CommunicationFootprint:
 
     def cdf_absolute_lines(self) -> list[tuple[int, float]]:
         """Figure 15's curve: (number of lines, cumulative share)."""
-        shares = cumulative_share(list(self.c2c_by_line.values()))
-        return [(i + 1, share) for i, share in enumerate(shares)]
+        return [(i + 1, share) for i, share in enumerate(self._cumulative_shares)]
 
     def lines_for_share(self, share: float) -> int:
         """How many of the hottest lines carry ``share`` of the transfers.
 
         The absolute communication footprint of Figure 15 — larger
-        for ECperf than SPECjbb at every share level.
+        for ECperf than SPECjbb at every share level.  Binary-searches
+        the cached cumulative shares; with a nonzero total the final
+        share is exactly 1.0, so ``share=1.0`` resolves to the last
+        contributing line instead of the all-lines fallback.
         """
         if not 0.0 < share <= 1.0:
             raise AnalysisError("share must be in (0, 1]")
-        cdf = cumulative_share(list(self.c2c_by_line.values()))
-        for i, cumulative in enumerate(cdf):
-            if cumulative >= share:
-                return i + 1
+        cdf = self._cumulative_shares
+        index = bisect_left(cdf, share)
+        if index < len(cdf):
+            return index + 1
         return len(cdf)

@@ -3,7 +3,7 @@
 Subcommands::
 
     jmmw figures [IDS...] [--quick] [--jobs N] [--no-cache] [--trace P]
-                                       reproduce paper figures (default all)
+                 [--no-fastpath]    reproduce paper figures (default all)
     jmmw characterize WORKLOAD [-p N] [--runs R] [--jobs N] ...
                                        one-call workload characterization
     jmmw info                          inventory: machine, workloads, figures
@@ -19,6 +19,7 @@ so stdout stays byte-stable across serial, parallel and cached runs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from functools import partial
 
@@ -47,8 +48,18 @@ def _figure_ids() -> dict[str, str]:
 
 
 def _make_harness(args: argparse.Namespace):
-    """(cache, telemetry) from the shared --no-cache/--trace flags."""
+    """(cache, telemetry) from the shared --no-cache/--trace flags.
+
+    Also applies ``--no-fastpath``: the scalar replay reference is
+    selected through the environment so forked worker processes
+    inherit it, and the figure cache key records the choice.
+    """
     from repro.harness import ResultCache, Telemetry, default_cache_dir
+
+    if getattr(args, "no_fastpath", False):
+        from repro.memsys.fastpath import FASTPATH_ENV
+
+        os.environ[FASTPATH_ENV] = "0"
 
     cache = None if args.no_cache else ResultCache(default_cache_dir())
     try:
@@ -171,6 +182,11 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write a JSONL harness event trace to PATH",
+    )
+    parser.add_argument(
+        "--no-fastpath", action="store_true",
+        help="use the scalar replay reference instead of the "
+        "vectorized fast path (results are bit-identical)",
     )
 
 

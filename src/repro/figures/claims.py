@@ -25,7 +25,7 @@ from repro.figures.common import (
     simulate_multiprocessor,
     workload_for_procs,
 )
-from repro.memsys.block import IFETCH
+from repro.memsys.fastpath import block_stream
 from repro.memsys.stackdist import StackDistanceProfiler
 from repro.rng import RngFactory
 from repro.units import mb
@@ -41,7 +41,7 @@ def run(sim: SimConfig | None = None) -> FigureResult:
         workload = make_workload(name, scale=4)
         bundle = workload.generate(1, sim.with_refs(60_000), RngFactory(sim.seed))
         profiler = StackDistanceProfiler()
-        profiler.feed([r >> 2 >> 6 for r in bundle.per_cpu[0] if r & 3 != IFETCH])
+        profiler.feed(block_stream(bundle.per_cpu[0], kind="data"))
         rows.append(
             ("working_set_90pct_kb", name, profiler.working_set_size(0.9) * 64 / 1024)
         )

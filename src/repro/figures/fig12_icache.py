@@ -28,8 +28,15 @@ CONFIGS = [
 ]
 
 
-def curves(sim: SimConfig, kind: str) -> dict[str, MissCurve]:
-    """Miss curves for every configuration, one trace each."""
+def curves(
+    sim: SimConfig, kind: str, fastpath: bool | None = None
+) -> dict[str, MissCurve]:
+    """Miss curves for every configuration, one trace each.
+
+    ``fastpath`` is forwarded to
+    :func:`repro.memsys.multisim.simulate_miss_curve`; both replay
+    paths produce bit-identical curves.
+    """
     out = {}
     for label, name, scale in CONFIGS:
         workload = make_workload(name, scale=scale)
@@ -46,15 +53,16 @@ def curves(sim: SimConfig, kind: str) -> dict[str, MissCurve]:
             assoc=4,
             block=64,
             warmup_fraction=config.warmup_fraction,
+            fastpath=fastpath,
         )
         out[label] = MissCurve.from_points(label, points)
     return out
 
 
-def run(sim: SimConfig | None = None) -> FigureResult:
+def run(sim: SimConfig | None = None, fastpath: bool | None = None) -> FigureResult:
     """Reproduce Figure 12 (instruction side)."""
     sim = sim if sim is not None else FIGURE_SIM
-    by_label = curves(sim, kind="instr")
+    by_label = curves(sim, kind="instr", fastpath=fastpath)
     rows = []
     series = {}
     for label, curve in by_label.items():

@@ -14,10 +14,10 @@ from repro.figures.common import FIGURE_SIM, FigureResult
 from repro.figures.fig12_icache import curves
 
 
-def run(sim: SimConfig | None = None) -> FigureResult:
+def run(sim: SimConfig | None = None, fastpath: bool | None = None) -> FigureResult:
     """Reproduce Figure 13 (data side)."""
     sim = sim if sim is not None else FIGURE_SIM
-    by_label = curves(sim, kind="data")
+    by_label = curves(sim, kind="data", fastpath=fastpath)
     rows = []
     series = {}
     for label, curve in by_label.items():

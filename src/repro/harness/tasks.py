@@ -20,8 +20,21 @@ from repro.rng import RngFactory
 
 
 def figure_cache_key(module_name: str, sim: SimConfig) -> str:
-    """Cache key for one figure at one simulation effort."""
-    return content_key(kind="figure", module=module_name, sim=sim)
+    """Cache key for one figure at one simulation effort.
+
+    The key records which replay path (vectorized or scalar) is
+    active: the paths are bit-identical by contract, but keeping them
+    as distinct cache entries means a parity regression can never hide
+    behind a stale cached result from the other path.
+    """
+    from repro.memsys.fastpath import fastpath_enabled
+
+    return content_key(
+        kind="figure",
+        module=module_name,
+        sim=sim,
+        fastpath=fastpath_enabled(),
+    )
 
 
 def build_figure_tasks(module_names: list[str], sim: SimConfig) -> list[Task]:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.memsys.config import MachineConfig
 from repro.errors import ConfigError
 from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, STORE
@@ -222,6 +224,11 @@ class MemoryHierarchy:
             raise ConfigError(
                 f"expected {self.machine.n_procs} traces, got {len(per_cpu_traces)}"
             )
+        # Workloads hand over uint64 arrays; the per-reference loop
+        # below runs much faster over Python ints than numpy scalars.
+        per_cpu_traces = [
+            t.tolist() if isinstance(t, np.ndarray) else t for t in per_cpu_traces
+        ]
         if quantum <= 0:
             raise ConfigError("quantum must be positive")
         if not 0.0 <= warmup_fraction < 1.0:

@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.memsys.config import CacheConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, STORE
 from repro.memsys.cache import SetAssociativeCache
 
@@ -44,38 +46,53 @@ class MultiConfigSimulator:
     split I/D miss rates).
     """
 
-    def __init__(self, configs: list[CacheConfig], kind: str) -> None:
+    def __init__(
+        self,
+        configs: list[CacheConfig],
+        kind: str,
+        warmup_fraction: float = 0.0,
+    ) -> None:
         if kind not in ("instr", "data"):
             raise ConfigError(f"kind must be 'instr' or 'data', got {kind!r}")
         if not configs:
             raise ConfigError("need at least one cache config")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigError("warmup_fraction must be in [0, 1)")
         self.kind = kind
         self.caches = [SetAssociativeCache(cfg) for cfg in configs]
         self._block_bits = [cfg.block_bits for cfg in configs]
         self.instructions = 0
+        self.warmup_fraction = warmup_fraction
         self._warm_instructions = 0
         self._warm_stats: list[tuple[int, int]] | None = None
 
     def replay(self, trace: list[int]) -> None:
-        """Feed every relevant reference in ``trace`` to all caches."""
+        """Feed every relevant reference in ``trace`` to all caches.
+
+        The trace is split by reference class once, up front: the kind
+        tag is read exactly once per reference and the discarded class
+        never enters the replay loop (it used to be decoded and skipped
+        reference by reference).
+        """
+        refs = np.asarray(trace, dtype=np.uint64)
+        kinds = refs & np.uint64(0x3)
+        is_ifetch = kinds == IFETCH
+        self.instructions += int(np.count_nonzero(is_ifetch)) * INSTRUCTIONS_PER_IFETCH
         want_instr = self.kind == "instr"
+        mask = is_ifetch if want_instr else ~is_ifetch
+        addrs = (refs >> np.uint64(2))[mask].tolist()
         caches = self.caches
         bits = self._block_bits
         n = len(caches)
-        for ref in trace:
-            kind = ref & 0x3
-            if kind == IFETCH:
-                self.instructions += INSTRUCTIONS_PER_IFETCH
-                if not want_instr:
-                    continue
-                write = False
-            else:
-                if want_instr:
-                    continue
-                write = kind == STORE
-            addr = ref >> 2
-            for i in range(n):
-                caches[i].access(addr >> bits[i], write)
+        if want_instr:
+            for addr in addrs:
+                for i in range(n):
+                    caches[i].access(addr >> bits[i], False)
+        else:
+            writes = (kinds[mask] == STORE).tolist()
+            for addr, write in zip(addrs, writes):
+                for i in range(n):
+                    caches[i].access(addr >> bits[i], write)
 
     def mark_warm(self) -> None:
         """Snapshot counters: everything before this call is warmup."""
@@ -83,7 +100,19 @@ class MultiConfigSimulator:
         self._warm_instructions = self.instructions
 
     def results(self) -> list[MissCurvePoint]:
-        """Miss-curve points over the post-warmup window."""
+        """Miss-curve points over the post-warmup window.
+
+        Raises :class:`~repro.errors.SimulationError` when a warmup
+        window was requested at construction but :meth:`mark_warm` was
+        never called — every reported point would silently include the
+        cold-start transient the caller asked to exclude.
+        """
+        if self._warm_stats is None and self.warmup_fraction > 0.0:
+            raise SimulationError(
+                f"results() called without a mark_warm() snapshot, but "
+                f"warmup_fraction={self.warmup_fraction} was requested; "
+                f"replay the warmup window and call mark_warm() first"
+            )
         warm = self._warm_stats or [(0, 0)] * len(self.caches)
         instr = self.instructions - self._warm_instructions
         points = []
@@ -109,20 +138,32 @@ def simulate_miss_curve(
     assoc: int = 4,
     block: int = 64,
     warmup_fraction: float = 0.2,
+    fastpath: bool | None = None,
 ) -> list[MissCurvePoint]:
     """Miss rate (MPKI) at each cache size, from one trace.
 
     Mirrors the paper's sweep setup: split caches, 4-way set
     associative, 64-byte blocks (Section 5.1).
+
+    ``fastpath`` selects the vectorized replay kernels
+    (:mod:`repro.memsys.fastpath`); the default (``None``) follows
+    :func:`repro.memsys.fastpath.fastpath_enabled`.  Both paths produce
+    bit-identical points (enforced by ``tests/memsys/test_fastpath.py``);
+    ``fastpath=False`` is the scalar reference implementation.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError("warmup_fraction must be in [0, 1)")
+    from repro.memsys import fastpath as _fastpath
+
     configs = [
         CacheConfig(size=s, assoc=assoc, block=block, name=f"{kind}-{s}")
         for s in sizes
     ]
-    sim = MultiConfigSimulator(configs, kind=kind)
     split = int(len(trace) * warmup_fraction)
+    use_fast = _fastpath.fastpath_enabled() if fastpath is None else fastpath
+    if use_fast:
+        return _fastpath.miss_curve_points(trace, configs, kind, split=split)
+    sim = MultiConfigSimulator(configs, kind=kind, warmup_fraction=warmup_fraction)
     sim.replay(trace[:split])
     sim.mark_warm()
     sim.replay(trace[split:])

@@ -9,11 +9,15 @@ behind working-set statements like the paper's "primary working sets
 are small" claim, complementing the exact set-associative sweeps in
 :mod:`repro.memsys.multisim`.
 
-Implementation: the classic O(n log n) Fenwick-tree formulation over
-access timestamps.
+Implementation: a vectorized offline pass (see
+:func:`repro.memsys.fastpath.stack_distances`) with the classic
+O(n log n) Fenwick-tree formulation retained as the scalar reference
+(``histogram(fastpath=False)``); both produce identical histograms.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.errors import AnalysisError
 
@@ -52,17 +56,46 @@ class StackDistanceProfiler:
 
     def __init__(self) -> None:
         self._accesses: list[int] = []
+        self._histogram: dict[int, int] | None = None
 
     def feed(self, blocks: list[int]) -> None:
-        """Append a stream of block addresses to the profile."""
+        """Append a stream of block addresses to the profile.
+
+        Accepts plain lists or numpy arrays; invalidates any memoized
+        histogram so later queries see the new accesses.
+        """
+        if isinstance(blocks, np.ndarray):
+            blocks = blocks.tolist()
         self._accesses.extend(blocks)
+        self._histogram = None
 
     @property
     def n_accesses(self) -> int:
         return len(self._accesses)
 
-    def histogram(self) -> dict[int, int]:
-        """Return {stack_distance: count}; COLD (-1) counts first touches."""
+    def histogram(self, fastpath: bool | None = None) -> dict[int, int]:
+        """Return {stack_distance: count}; COLD (-1) counts first touches.
+
+        The result is memoized until the next :meth:`feed` —
+        :meth:`misses_at` and :meth:`working_set_size` both call this,
+        and previously each call redid the full O(n log n) pass.
+        ``fastpath`` selects the vectorized pass (default per
+        :func:`repro.memsys.fastpath.fastpath_enabled`) or the scalar
+        Fenwick reference; both are bit-identical, so the memo is
+        shared.
+        """
+        if self._histogram is None:
+            from repro.memsys import fastpath as _fastpath
+
+            use_fast = _fastpath.fastpath_enabled() if fastpath is None else fastpath
+            if use_fast:
+                self._histogram = _fastpath.stack_distance_histogram(self._accesses)
+            else:
+                self._histogram = self._scalar_histogram()
+        return dict(self._histogram)
+
+    def _scalar_histogram(self) -> dict[int, int]:
+        """The Fenwick-tree reference implementation."""
         accesses = self._accesses
         n = len(accesses)
         hist: dict[int, int] = {}

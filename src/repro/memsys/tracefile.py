@@ -62,8 +62,11 @@ def load_trace(path: str | Path) -> TraceBundle:
             raise AnalysisError(
                 f"{path}: unsupported trace format version {header.get('version')}"
             )
+        # Arrays go straight into the bundle — no per-element int()
+        # round-trip; TraceBundle holds uint64 arrays natively.
         per_cpu = [
-            [int(x) for x in data[f"cpu{idx}"]] for idx in range(header["n_procs"])
+            np.asarray(data[f"cpu{idx}"], dtype=np.uint64)
+            for idx in range(header["n_procs"])
         ]
     return TraceBundle(
         workload=header["workload"],

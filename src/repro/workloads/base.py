@@ -27,12 +27,23 @@ from repro.workloads.codepath import CodeLayout
 
 @dataclass
 class TraceBundle:
-    """Generated reference streams for one measurement interval."""
+    """Generated reference streams for one measurement interval.
+
+    Streams are held as ``uint64`` numpy arrays (the packed encoding of
+    :mod:`repro.memsys.block`), so vectorized consumers replay them
+    without a Python-list detour; construction still accepts plain
+    lists and normalizes.  Scalar consumers that walk references one at
+    a time should take :meth:`per_cpu_lists` (Python ints iterate much
+    faster than numpy scalars).
+    """
 
     workload: str
-    per_cpu: list[list[int]]
+    per_cpu: list[np.ndarray]
     instructions: list[int]
     meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.per_cpu = [np.asarray(t, dtype=np.uint64) for t in self.per_cpu]
 
     @property
     def n_procs(self) -> int:
@@ -40,18 +51,21 @@ class TraceBundle:
 
     @property
     def total_refs(self) -> int:
-        return sum(len(t) for t in self.per_cpu)
+        return sum(int(t.size) for t in self.per_cpu)
 
     @property
     def total_instructions(self) -> int:
         return sum(self.instructions)
 
-    def merged(self) -> list[int]:
+    def merged(self) -> np.ndarray:
         """All streams concatenated (for uniprocessor sweeps)."""
-        merged: list[int] = []
-        for trace in self.per_cpu:
-            merged.extend(trace)
-        return merged
+        if not self.per_cpu:
+            return np.empty(0, dtype=np.uint64)
+        return np.concatenate(self.per_cpu)
+
+    def per_cpu_lists(self) -> list[list[int]]:
+        """Per-processor streams as lists of Python ints."""
+        return [t.tolist() for t in self.per_cpu]
 
 
 class StreamBuilder:

@@ -65,6 +65,29 @@ def test_footprint_cdfs():
     ]
 
 
+def test_lines_for_share_exact_boundary_no_float_drift():
+    """share=1.0 must resolve exactly even when 1/n is not a binary float.
+
+    Seven equal counts: accumulating 1/7 seven times in floating point
+    lands at 0.9999999999999998, which would push ``share=1.0`` past the
+    end of the CDF; the integer running sum makes the last share exactly
+    1.0.
+    """
+    fp = CommunicationFootprint(
+        c2c_by_line={line: 1 for line in range(1, 8)}, touched_lines=10
+    )
+    assert fp.lines_for_share(1.0) == 7
+    assert fp.share_from_top_fraction(1.0) == 1.0
+    assert fp.cdf_absolute_lines()[-1] == (7, 1.0)
+
+
+def test_lines_for_share_zero_transfers():
+    fp = CommunicationFootprint(c2c_by_line={1: 0, 2: 0}, touched_lines=5)
+    # No line can ever reach the requested share; report the whole set.
+    assert fp.lines_for_share(0.5) == 2
+    assert fp.share_from_top_fraction(0.5) == 0.0
+
+
 def test_footprint_validation():
     with pytest.raises(AnalysisError):
         CommunicationFootprint(c2c_by_line={1: 1, 2: 1}, touched_lines=1)

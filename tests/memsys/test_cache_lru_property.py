@@ -1,0 +1,80 @@
+"""SetAssociativeCache.access vs. a brute-force per-set LRU reference.
+
+The production cache keeps each set as an insertion-ordered dict and
+relies on delete + reinsert for LRU refresh; the reference below keeps
+an explicit list ordered LRU-first, which is trivially auditable.  The
+property test drives both with the same access stream (including
+writes, so dirty-bit and writeback accounting is exercised) and
+compares every per-access outcome plus all four counters, across
+associativities from direct-mapped to fully associative.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys.cache import SetAssociativeCache
+from repro.memsys.config import CacheConfig
+
+
+class BruteForceLru:
+    """Per-set LRU lists with dirty bits and full accounting."""
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.sets: list[list[list]] = [[] for _ in range(n_sets)]  # LRU first
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def access(self, block: int, write: bool) -> bool:
+        self.accesses += 1
+        lines = self.sets[block % self.n_sets]
+        for i, line in enumerate(lines):
+            if line[0] == block:
+                lines.pop(i)
+                if write:
+                    line[1] = True
+                lines.append(line)
+                return True
+        self.misses += 1
+        if len(lines) >= self.assoc:
+            victim = lines.pop(0)
+            self.evictions += 1
+            if victim[1]:
+                self.writebacks += 1
+        lines.append([block, write])
+        return False
+
+
+# (n_sets, assoc): direct-mapped, two set-associative shapes, and fully
+# associative — all holding eight 64-byte lines.
+GEOMETRIES = [(8, 1), (4, 2), (2, 4), (1, 8)]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31), st.booleans()),
+        min_size=1,
+        max_size=250,
+    ),
+    geometry=st.sampled_from(GEOMETRIES),
+)
+def test_access_matches_brute_force(ops, geometry):
+    n_sets, assoc = geometry
+    cache = SetAssociativeCache(
+        CacheConfig(size=n_sets * assoc * 64, assoc=assoc, block=64)
+    )
+    reference = BruteForceLru(n_sets, assoc)
+    for block, write in ops:
+        assert cache.access(block, write) == reference.access(block, write)
+    stats = cache.stats
+    assert stats.accesses == reference.accesses
+    assert stats.misses == reference.misses
+    assert stats.evictions == reference.evictions
+    assert stats.writebacks == reference.writebacks
+    assert stats.hits == reference.accesses - reference.misses
+    # Occupancy can never exceed capacity.
+    assert cache.occupancy() <= n_sets * assoc

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.memsys.block import IFETCH, LOAD, STORE, encode_ref
 from repro.memsys.config import CacheConfig
 from repro.memsys.multisim import MultiConfigSimulator, simulate_miss_curve
@@ -64,6 +64,32 @@ def test_warmup_reduces_reported_misses():
 def test_warmup_fraction_validation():
     with pytest.raises(ConfigError):
         simulate_miss_curve([], [kb(8)], kind="data", warmup_fraction=1.0)
+
+
+def test_results_without_mark_warm_raises_when_warmup_requested():
+    """A requested warmup window silently ignored is the bug this guards."""
+    sim = MultiConfigSimulator(
+        [CacheConfig(size=kb(8), assoc=2, block=64)], "data", warmup_fraction=0.5
+    )
+    sim.replay(mixed_trace(100))
+    with pytest.raises(SimulationError):
+        sim.results()
+    sim.mark_warm()
+    sim.replay(mixed_trace(100))
+    assert sim.results()[0].accesses > 0
+
+
+def test_results_without_warmup_needs_no_snapshot():
+    sim = MultiConfigSimulator([CacheConfig(size=kb(8), assoc=2, block=64)], "data")
+    sim.replay(mixed_trace(100))
+    assert sim.results()[0].accesses > 0
+
+
+def test_warmup_fraction_constructor_validation():
+    with pytest.raises(ConfigError):
+        MultiConfigSimulator(
+            [CacheConfig(size=kb(8), assoc=2, block=64)], "data", warmup_fraction=1.0
+        )
 
 
 def test_point_metadata():

@@ -69,6 +69,31 @@ def test_working_set_validation():
         profiler.working_set_size(0.0)
 
 
+def test_feed_after_histogram_not_ignored():
+    """The memo must be invalidated by feed(), not just populated once."""
+    profiler = StackDistanceProfiler()
+    profiler.feed([1, 2])
+    assert profiler.histogram() == {StackDistanceProfiler.COLD: 2}
+    profiler.feed([1])  # distance 2 past block 2
+    assert profiler.histogram() == {StackDistanceProfiler.COLD: 2, 1: 1}
+
+
+def test_histogram_returns_a_copy():
+    profiler = StackDistanceProfiler()
+    profiler.feed([5, 5])
+    hist = profiler.histogram()
+    hist[0] = 999
+    assert profiler.histogram()[0] == 1
+
+
+def test_histogram_accepts_numpy_arrays():
+    import numpy as np
+
+    profiler = StackDistanceProfiler()
+    profiler.feed(np.asarray([1, 2, 1], dtype=np.int64))
+    assert profiler.histogram()[1] == 1
+
+
 def test_empty_profile():
     profiler = StackDistanceProfiler()
     assert profiler.histogram() == {}

@@ -19,7 +19,7 @@ def test_roundtrip_synthetic(tmp_path):
     path = save_trace(bundle, tmp_path / "t")
     assert path.suffix == ".npz"
     loaded = load_trace(path)
-    assert loaded.per_cpu == bundle.per_cpu
+    assert loaded.per_cpu_lists() == bundle.per_cpu_lists()
     assert loaded.instructions == bundle.instructions
     assert loaded.meta == bundle.meta
     assert loaded.workload == "demo"
@@ -31,7 +31,7 @@ def test_roundtrip_real_workload(tmp_path, tiny_sim):
     )
     path = save_trace(bundle, tmp_path / "jbb.npz")
     loaded = load_trace(path)
-    assert loaded.per_cpu == bundle.per_cpu
+    assert loaded.per_cpu_lists() == bundle.per_cpu_lists()
     assert loaded.meta["warehouses"] == 2
 
 

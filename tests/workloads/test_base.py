@@ -101,4 +101,4 @@ def test_trace_bundle_aggregates():
     assert bundle.n_procs == 2
     assert bundle.total_refs == 3
     assert bundle.total_instructions == 30
-    assert bundle.merged() == [1, 2, 3]
+    assert bundle.merged().tolist() == [1, 2, 3]

@@ -12,7 +12,7 @@ def test_generation_deterministic(tiny_sim, rng_factory):
     w = EcperfWorkload()
     a = w.generate(2, tiny_sim, rng_factory)
     b = w.generate(2, tiny_sim, rng_factory)
-    assert a.per_cpu == b.per_cpu
+    assert a.per_cpu_lists() == b.per_cpu_lists()
 
 
 def test_every_processor_has_threads(tiny_sim, rng_factory):

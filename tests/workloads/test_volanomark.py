@@ -19,8 +19,8 @@ def test_generation(tiny_sim, rng_factory):
 def test_deterministic(tiny_sim, rng_factory):
     w = VolanoMarkWorkload(connections=20, rooms=2)
     assert (
-        w.generate(1, tiny_sim, rng_factory).per_cpu
-        == w.generate(1, tiny_sim, rng_factory).per_cpu
+        w.generate(1, tiny_sim, rng_factory).per_cpu_lists()
+        == w.generate(1, tiny_sim, rng_factory).per_cpu_lists()
     )
 
 
