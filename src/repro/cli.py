@@ -3,7 +3,8 @@
 Subcommands::
 
     jmmw figures [IDS...] [--quick] [--jobs N] [--no-cache] [--trace P]
-                 [--no-fastpath]    reproduce paper figures (default all)
+                 [--no-fastpath] [--resume] [--fail-fast]
+                 [--check-invariants]    reproduce paper figures (default all)
     jmmw characterize WORKLOAD [-p N] [--runs R] [--jobs N] ...
                                        one-call workload characterization
     jmmw info                          inventory: machine, workloads, figures
@@ -14,6 +15,17 @@ are bit-identical to serial), results are cached on disk keyed by
 config + code version (``--no-cache`` disables), and ``--trace PATH``
 writes a JSONL event trace.  The harness summary table goes to stderr
 so stdout stays byte-stable across serial, parallel and cached runs.
+
+Resilience: every campaign journals completed tasks to a manifest as
+they finish, so a run cut down by Ctrl-C, SIGTERM or a crash can be
+continued with ``--resume`` — completed work is served back
+bit-identically, only the remainder is computed.  An interrupted
+campaign drains its in-flight tasks, persists them, and exits 130.
+Task failures are summarized on stderr and exit non-zero;
+``--fail-fast`` stops dispatching at the first failure.
+``--check-invariants`` (or ``JMMW_CHECK=1``) turns on sampled runtime
+verification of the simulator's coherence/inclusion/conservation
+invariants in every worker.
 """
 
 from __future__ import annotations
@@ -47,20 +59,27 @@ def _figure_ids() -> dict[str, str]:
     return {name.split("_", 1)[0]: name for name in FIGURE_MODULES}
 
 
-def _make_harness(args: argparse.Namespace):
-    """(cache, telemetry) from the shared --no-cache/--trace flags.
+def _apply_env_flags(args: argparse.Namespace) -> None:
+    """Apply ``--no-fastpath`` / ``--check-invariants``.
 
-    Also applies ``--no-fastpath``: the scalar replay reference is
-    selected through the environment so forked worker processes
-    inherit it, and the figure cache key records the choice.
+    Both are selected through the environment so forked worker
+    processes inherit them, and the cache keys record the choices.
     """
-    from repro.harness import ResultCache, Telemetry, default_cache_dir
-
     if getattr(args, "no_fastpath", False):
         from repro.memsys.fastpath import FASTPATH_ENV
 
         os.environ[FASTPATH_ENV] = "0"
+    if getattr(args, "check_invariants", False):
+        from repro.memsys.invariants import CHECK_ENV
 
+        os.environ[CHECK_ENV] = "1"
+
+
+def _make_harness(args: argparse.Namespace):
+    """(cache, telemetry) from the shared --no-cache/--trace flags."""
+    from repro.harness import ResultCache, Telemetry, default_cache_dir
+
+    _apply_env_flags(args)
     cache = None if args.no_cache else ResultCache(default_cache_dir())
     try:
         telemetry = Telemetry(args.trace)
@@ -70,31 +89,89 @@ def _make_harness(args: argparse.Namespace):
     return cache, telemetry
 
 
+def _open_manifest(args: argparse.Namespace, signature: str):
+    """Campaign manifest for this invocation, fresh or resumed.
+
+    The journal lives under the cache directory, named by the campaign
+    signature — so two different campaigns never collide, and rerunning
+    the same command line finds its own journal.
+    """
+    from repro.harness import CampaignManifest, default_cache_dir
+
+    path = default_cache_dir() / "campaigns" / f"{signature[:16]}.jsonl"
+    if getattr(args, "resume", False):
+        manifest = CampaignManifest.open_resume(path, signature)
+        if manifest.resumed and manifest.completed:
+            print(
+                f"resuming campaign: {len(manifest.completed)} task(s) "
+                f"already complete",
+                file=sys.stderr,
+            )
+        return manifest
+    return CampaignManifest.open_fresh(path, signature)
+
+
+def _summarize_failures(outcomes) -> int:
+    """Per-task failure summary on stderr; returns the failure count."""
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        print(f"{len(failed)} task(s) failed:", file=sys.stderr)
+        for outcome in failed:
+            print(f"  {outcome.failure}", file=sys.stderr)
+    return len(failed)
+
+
+def _finish_interrupted(interrupt, manifest, telemetry) -> int:
+    """Report a drained interrupt and exit 130 (128 + SIGINT)."""
+    print(f"{interrupt}", file=sys.stderr)
+    print("rerun with --resume to continue from the checkpoint", file=sys.stderr)
+    print(telemetry.render_summary(), file=sys.stderr)
+    telemetry.close()
+    if manifest is not None:
+        manifest.close()
+    return 130
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     """Reproduce the requested figures; non-zero exit on check failures."""
+    from repro.errors import CampaignInterrupted
     from repro.figures.common import FIGURE_SIM, QUICK_SIM, figure_checks
     from repro.harness import run_tasks
-    from repro.harness.tasks import build_figure_tasks
+    from repro.harness.tasks import build_figure_tasks, figures_campaign_signature
 
     sim = QUICK_SIM if args.quick else FIGURE_SIM
     ids = _figure_ids()
     wanted = args.ids or sorted(ids)
     for fig_id in wanted:
         if fig_id not in ids:
-            print(f"unknown figure {fig_id!r}; known: {', '.join(sorted(ids))}")
+            print(
+                f"unknown figure {fig_id!r}; known: {', '.join(sorted(ids))}",
+                file=sys.stderr,
+            )
             return 2
 
     cache, telemetry = _make_harness(args)
-    tasks = build_figure_tasks([ids[fig_id] for fig_id in wanted], sim)
-    outcomes = run_tasks(tasks, jobs=args.jobs, cache=cache, telemetry=telemetry)
+    modules = [ids[fig_id] for fig_id in wanted]
+    manifest = _open_manifest(args, figures_campaign_signature(modules, sim))
+    tasks = build_figure_tasks(modules, sim)
+    try:
+        outcomes = run_tasks(
+            tasks,
+            jobs=args.jobs,
+            cache=cache,
+            telemetry=telemetry,
+            manifest=manifest,
+            fail_fast=args.fail_fast,
+            interruptible=True,
+        )
+    except CampaignInterrupted as interrupt:
+        return _finish_interrupted(interrupt, manifest, telemetry)
 
     failures = 0
-    errors = 0
     for fig_id, outcome in zip(wanted, outcomes):
         if not outcome.ok:
             print(f"=== {fig_id}: FAILED to run ===")
             print(f"  {outcome.failure}")
-            errors += 1
             print()
             continue
         print(outcome.value.render())
@@ -102,8 +179,10 @@ def cmd_figures(args: argparse.Namespace) -> int:
             print(f'  [{"ok" if ok else "FAIL"}] {claim}')
             failures += 0 if ok else 1
         print()
+    errors = _summarize_failures(outcomes)
     print(telemetry.render_summary(), file=sys.stderr)
     telemetry.close()
+    manifest.close()
     return 1 if failures or errors else 0
 
 
@@ -116,33 +195,57 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         sim = SimConfig(seed=1234, refs_per_proc=80_000, warmup_fraction=0.5)
 
     if args.runs <= 1:
+        _apply_env_flags(args)
         report = characterize(args.workload, n_procs=args.procs, sim=sim)
         print(report.render())
         return 0
 
     # Multi-run characterization: replicas fan out through the harness
     # and are reported Alameldeen-&-Wood style (mean ± std).  A replica
-    # that fails is excluded and reported, not fatal.
+    # that fails is excluded and reported on stderr (exit 1), not fatal.
     from repro.core.experiment import run_repeated
     from repro.core.report import render_table
+    from repro.errors import AnalysisError, CampaignInterrupted
     from repro.figures.common import FIGURE_SIM
     from repro.harness import FaultPolicy
-    from repro.harness.tasks import characterize_cache_key, characterize_run_fn
+    from repro.harness.tasks import (
+        characterize_cache_key,
+        characterize_campaign_signature,
+        characterize_run_fn,
+    )
 
     sim = sim if sim is not None else FIGURE_SIM
     cache, telemetry = _make_harness(args)
-    results = run_repeated(
-        characterize_run_fn(args.workload, args.procs, sim),
-        n_runs=args.runs,
-        seed=sim.seed,
-        jobs=args.jobs,
-        cache=cache,
-        cache_key_fn=partial(
-            characterize_cache_key, args.workload, args.procs, sim, sim.seed
-        ),
-        telemetry=telemetry,
-        faults=FaultPolicy(),
+    manifest = _open_manifest(
+        args,
+        characterize_campaign_signature(args.workload, args.procs, sim, args.runs),
     )
+    failures: list = []
+    try:
+        results = run_repeated(
+            characterize_run_fn(args.workload, args.procs, sim),
+            n_runs=args.runs,
+            seed=sim.seed,
+            jobs=args.jobs,
+            cache=cache,
+            cache_key_fn=partial(
+                characterize_cache_key, args.workload, args.procs, sim, sim.seed
+            ),
+            telemetry=telemetry,
+            faults=FaultPolicy(),
+            manifest=manifest,
+            fail_fast=args.fail_fast,
+            interruptible=True,
+            on_failure=failures.append,
+        )
+    except CampaignInterrupted as interrupt:
+        return _finish_interrupted(interrupt, manifest, telemetry)
+    except AnalysisError as exc:
+        print(f"characterization failed: {exc}", file=sys.stderr)
+        print(telemetry.render_summary(), file=sys.stderr)
+        telemetry.close()
+        manifest.close()
+        return 1
     n_ok = next(iter(results.values())).n
     print(
         f"{args.workload} on {args.procs} processors (E6000-style), "
@@ -153,11 +256,14 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         for name, result in sorted(results.items())
     ]
     print(render_table(["metric", "mean", "std", "n"], rows))
-    if n_ok < args.runs:
-        print(f"warning: {args.runs - n_ok} replica(s) failed; see trace")
+    if failures:
+        print(f"{len(failures)} replica(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
     print(telemetry.render_summary(), file=sys.stderr)
     telemetry.close()
-    return 0
+    manifest.close()
+    return 1 if failures else 0
 
 
 def cmd_info(_: argparse.Namespace) -> int:
@@ -187,6 +293,21 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
         "--no-fastpath", action="store_true",
         help="use the scalar replay reference instead of the "
         "vectorized fast path (results are bit-identical)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted campaign from its manifest; "
+        "completed tasks are served back bit-identically",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop dispatching new tasks after the first failure",
+    )
+    parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="verify simulator invariants (coherence legality, L1/L2 "
+        "inclusion, stats conservation) on a sampled schedule while "
+        "running; same as JMMW_CHECK=1",
     )
 
 

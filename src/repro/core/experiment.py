@@ -31,7 +31,8 @@ from repro.rng import RngFactory
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.harness.cache import ResultCache
-    from repro.harness.faults import FaultPolicy
+    from repro.harness.checkpoint import CampaignManifest
+    from repro.harness.faults import FaultPolicy, TaskFailure
     from repro.harness.telemetry import Telemetry
 
 
@@ -113,6 +114,10 @@ def run_repeated(
     cache_key_fn: Callable[[int], str] | None = None,
     telemetry: "Telemetry | None" = None,
     faults: "FaultPolicy | None" = None,
+    manifest: "CampaignManifest | None" = None,
+    fail_fast: bool = False,
+    interruptible: bool = False,
+    on_failure: "Callable[[TaskFailure], None] | None" = None,
 ) -> dict[str, MultiRunResult]:
     """Run ``fn`` ``n_runs`` times with perturbed RNG factories.
 
@@ -121,19 +126,30 @@ def run_repeated(
 
     With the defaults the replicas run inline and an exception in any
     replica propagates (the historical behavior).  Passing ``jobs``,
-    ``cache``, ``telemetry`` or ``faults`` routes the replicas through
-    :func:`repro.harness.run_tasks`: ``fn`` must then be picklable for
-    ``jobs > 1`` (the harness falls back to serial execution if not),
-    ``cache_key_fn(run_index)`` opts replicas into result caching, and
-    failed replicas are *excluded* from the samples rather than fatal —
-    only if every replica fails does this raise
+    ``cache``, ``telemetry``, ``faults`` or ``manifest`` routes the
+    replicas through :func:`repro.harness.run_tasks`: ``fn`` must then
+    be picklable for ``jobs > 1`` (the harness falls back to serial
+    execution if not), ``cache_key_fn(run_index)`` opts replicas into
+    result caching, and failed replicas are *excluded* from the
+    samples rather than fatal — each is reported through
+    ``on_failure``, and only if every replica fails does this raise
     :class:`~repro.errors.AnalysisError`.
+
+    ``manifest`` journals completed replicas for checkpoint/resume,
+    ``fail_fast`` aborts the batch at the first ultimate failure, and
+    ``interruptible`` turns SIGINT/SIGTERM into a drain that raises
+    :class:`~repro.errors.CampaignInterrupted` (see
+    :func:`repro.harness.run_tasks`).
     """
     if n_runs <= 0:
         raise AnalysisError("n_runs must be positive")
 
     use_harness = (
-        jobs > 1 or cache is not None or telemetry is not None or faults is not None
+        jobs > 1
+        or cache is not None
+        or telemetry is not None
+        or faults is not None
+        or manifest is not None
     )
     if not use_harness:
         per_run = [
@@ -154,8 +170,19 @@ def run_repeated(
         for run_index in range(n_runs)
     ]
     outcomes = run_tasks(
-        tasks, jobs=jobs, cache=cache, telemetry=telemetry, faults=faults
+        tasks,
+        jobs=jobs,
+        cache=cache,
+        telemetry=telemetry,
+        faults=faults,
+        manifest=manifest,
+        fail_fast=fail_fast,
+        interruptible=interruptible,
     )
+    if on_failure is not None:
+        for outcome in outcomes:
+            if not outcome.ok:
+                on_failure(outcome.failure)
     per_run = [_as_items(o.value, name) for o in outcomes if o.ok]
     if not per_run:
         first = next(o.failure for o in outcomes if not o.ok)

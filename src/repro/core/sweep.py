@@ -21,6 +21,7 @@ from repro.core.report import render_table
 from repro.errors import AnalysisError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.faults import FaultPolicy
     from repro.harness.telemetry import Telemetry
 
 
@@ -90,20 +91,22 @@ def sweep(
     *,
     jobs: int = 1,
     telemetry: "Telemetry | None" = None,
+    faults: "FaultPolicy | None" = None,
 ) -> SweepResult:
     """Measure ``measure(v)`` at each knob value.
 
     With ``jobs > 1`` the points are evaluated in parallel through the
-    harness.  Unlike replicas, a sweep has no redundancy — every point
-    is load-bearing — so a point that fails (after any retries built
-    into the harness default policy) raises :class:`AnalysisError`.
+    harness; ``faults`` sets the retry/timeout policy for each point.
+    Unlike replicas, a sweep has no redundancy — every point is
+    load-bearing — so a point that fails (after any retries the fault
+    policy allows) raises :class:`AnalysisError`.
 
     >>> sweep("n", [1, 2, 3], lambda n: float(n * n)).values()
     [1.0, 4.0, 9.0]
     """
     if not values:
         raise AnalysisError("sweep needs at least one knob value")
-    if jobs <= 1 and telemetry is None:
+    if jobs <= 1 and telemetry is None and faults is None:
         points = tuple((v, float(measure(v))) for v in values)
         return SweepResult(knob=knob, metric=metric, points=points)
 
@@ -113,7 +116,7 @@ def sweep(
         Task(key=f"{knob}[{i}]={v!r}", fn=measure, args=(v,))
         for i, v in enumerate(values)
     ]
-    outcomes = run_tasks(tasks, jobs=jobs, telemetry=telemetry)
+    outcomes = run_tasks(tasks, jobs=jobs, telemetry=telemetry, faults=faults)
     failed = [o.failure for o in outcomes if not o.ok]
     if failed:
         raise AnalysisError(f"sweep over {knob} failed: {failed[0]}")

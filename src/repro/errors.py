@@ -30,6 +30,25 @@ class SimulationError(ReproError):
     """
 
 
+class InvariantViolation(SimulationError):
+    """A runtime model invariant failed while the simulation ran.
+
+    Raised by :class:`repro.memsys.invariants.InvariantChecker` when a
+    sampled check finds illegal coherence state (two MODIFIED copies,
+    a stale ``holders`` mirror), an L1/L2 inclusion hole, or counters
+    that stopped conserving (``hits + misses != refs``).  Carries a
+    diagnostic ``dump`` — the per-cache state of the offending block
+    plus a ring buffer of the most recent accesses — so the corruption
+    is debuggable post-mortem instead of surfacing thousands of
+    references later as a silently wrong curve.
+    """
+
+    def __init__(self, message: str, dump: str = "") -> None:
+        super().__init__(message if not dump else f"{message}\n{dump}")
+        self.message = message
+        self.dump = dump
+
+
 class WorkloadError(ReproError):
     """A workload was asked to do something outside its model.
 
@@ -49,3 +68,21 @@ class HarnessError(ReproError):
     fault policies) — never for an individual task raising, which the
     harness captures as a :class:`repro.harness.TaskFailure` instead.
     """
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign stopped early on SIGINT/SIGTERM after a clean drain.
+
+    Raised by :func:`repro.harness.run_tasks` (``interruptible=True``)
+    once in-flight tasks have finished and their results are persisted
+    to the campaign manifest.  Completed work is not lost: re-running
+    the same campaign with ``--resume`` skips it bit-identically.
+    """
+
+    def __init__(self, completed: int, remaining: tuple[str, ...]) -> None:
+        super().__init__(
+            f"campaign interrupted: {completed} task(s) completed, "
+            f"{len(remaining)} remaining"
+        )
+        self.completed = completed
+        self.remaining = remaining

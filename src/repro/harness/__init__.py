@@ -2,14 +2,20 @@
 
 The execution layer under every sweep, figure and multi-run experiment:
 
-- :mod:`repro.harness.runner` — process-pool engine with deterministic
-  per-task seeding (parallel results are bit-identical to serial);
+- :mod:`repro.harness.runner` — owned worker-process engine with
+  deterministic per-task seeding (parallel results are bit-identical
+  to serial) and a watchdog that kills and respawns hung workers;
 - :mod:`repro.harness.cache` — content-addressed on-disk result cache
-  keyed by config + workload + replica + code version;
+  keyed by config + workload + replica + code version, with
+  checksummed entries and quarantine for corrupt ones;
+- :mod:`repro.harness.checkpoint` — campaign manifest journaling
+  completed tasks so an interrupted run resumes bit-identically;
 - :mod:`repro.harness.telemetry` — JSONL event tracing and
   hierarchical counters with an end-of-run summary table;
 - :mod:`repro.harness.faults` — per-task timeout, bounded retry, and
   graceful degradation (a failed replica is reported, not fatal);
+- :mod:`repro.harness.chaos` — test-only deterministic fault injection
+  (worker crashes, hangs, corrupt cache entries);
 - :mod:`repro.harness.tasks` — the picklable task functions the CLI
   and experiment layer fan out.
 
@@ -29,7 +35,9 @@ from repro.harness.cache import (
     default_cache_dir,
     sim_fields,
 )
+from repro.harness.checkpoint import CampaignManifest
 from repro.harness.faults import (
+    KIND_ABORTED,
     KIND_BROKEN_POOL,
     KIND_ERROR,
     KIND_TIMEOUT,
@@ -45,6 +53,8 @@ __all__ = [
     "content_key",
     "default_cache_dir",
     "sim_fields",
+    "CampaignManifest",
+    "KIND_ABORTED",
     "KIND_BROKEN_POOL",
     "KIND_ERROR",
     "KIND_TIMEOUT",

@@ -7,11 +7,18 @@ re-runs only what changed: edit a simulator module and every key
 changes (the code-version component); tweak one figure's SimConfig and
 only that figure misses.
 
-Entries are pickled payloads under ``<root>/<k[:2]>/<k>.pkl`` (fan-out
-keeps directories small).  Writes are atomic (temp file + rename) so a
-killed run never leaves a truncated entry; unreadable entries are
-treated as misses and deleted.  The cache root resolves, in order, from
-``JMMW_CACHE_DIR``, ``$XDG_CACHE_HOME/jmmw``, ``~/.cache/jmmw``.
+Entries live under ``<root>/<k[:2]>/<k>.pkl`` (fan-out keeps
+directories small) as a checksummed container: a magic header, the
+SHA-256 of the pickled payload, then the payload itself.  Writes go
+through a temp file that is fsynced and atomically renamed, so a killed
+run — or two processes sharing the cache directory — can never leave a
+half-written entry where a reader finds it.  An entry that fails the
+magic or checksum test (truncation, bit rot, a torn write from a
+pre-atomic tool) is *quarantined*: moved aside under
+``<root>/quarantine/`` and treated as a miss, so a corrupt entry costs
+one recompute, never a crashed campaign.  The cache root resolves, in
+order, from ``JMMW_CACHE_DIR``, ``$XDG_CACHE_HOME/jmmw``,
+``~/.cache/jmmw``.
 """
 
 from __future__ import annotations
@@ -29,7 +36,13 @@ from typing import Any
 from repro.core.config import SimConfig
 
 #: Bump when the on-disk payload layout changes.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
+
+#: Leading bytes of every entry; version byte tracks CACHE_FORMAT.
+ENTRY_MAGIC = b"jmmw-cache\x02\n"
+
+#: Subdirectory (under the cache root) holding quarantined entries.
+QUARANTINE_DIR = "quarantine"
 
 _code_version: str | None = None
 
@@ -90,11 +103,20 @@ _MISS = object()
 
 
 class ResultCache:
-    """Pickle-backed key-value store addressed by :func:`content_key`."""
+    """Checksummed pickle store addressed by :func:`content_key`.
+
+    Safe for concurrent use by multiple processes sharing one root:
+    writes are atomic renames of fsynced temp files, so a reader only
+    ever sees a complete entry or none; entries that fail verification
+    are quarantined (counted in :attr:`quarantined`) and re-read as
+    misses.
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Entries moved aside by this process after failing verification.
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -109,40 +131,126 @@ class ResultCache:
     def _load(self, key: str) -> Any:
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
-                payload = pickle.load(fh)
-        except FileNotFoundError:
+            data = path.read_bytes()
+        except OSError:
+            # Absent, or vanished mid-read (concurrent clear): a miss.
             return _MISS
+        if not data.startswith(ENTRY_MAGIC):
+            return self._reject_unframed(path, data)
+        digest = data[len(ENTRY_MAGIC) : len(ENTRY_MAGIC) + 32]
+        blob = data[len(ENTRY_MAGIC) + 32 :]
+        if hashlib.sha256(blob).digest() != digest:
+            return self._quarantine(path)
+        try:
+            payload = pickle.loads(blob)
         except Exception:
-            # Truncated or stale-format entry: drop it and treat as miss.
-            path.unlink(missing_ok=True)
-            return _MISS
+            # Checksum passed but unpickling failed: a payload written
+            # by an incompatible interpreter/library — keep it aside.
+            return self._quarantine(path)
         if not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT:
+            # A well-formed entry from a different layout version is
+            # stale, not corrupt: drop it silently.
             path.unlink(missing_ok=True)
             return _MISS
         return payload["value"]
 
-    def put(self, key: str, value: Any) -> None:
-        """Store ``value`` atomically under ``key``."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"format": CACHE_FORMAT, "key": key, "value": value}
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    def _reject_unframed(self, path: Path, data: bytes) -> Any:
+        """Handle an entry without the magic header."""
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+            payload = pickle.loads(data)
+        except Exception:
+            return self._quarantine(path)
+        if isinstance(payload, dict) and "format" in payload:
+            # Pre-checksum cache layout: stale, drop silently.
+            path.unlink(missing_ok=True)
+            return _MISS
+        return self._quarantine(path)
+
+    def _quarantine(self, path: Path) -> Any:
+        """Move a corrupt entry aside and report a miss.
+
+        The entry is preserved under ``quarantine/`` for post-mortem
+        inspection rather than deleted: a corrupt result is evidence
+        of a fault (disk, interrupted writer, version skew) that a
+        silent unlink would destroy.  Races with other readers are
+        benign — whoever replaces first wins, the rest no-op.
+        """
+        self.quarantined += 1
+        qdir = self.root / QUARANTINE_DIR
+        with contextlib.suppress(OSError):
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        with contextlib.suppress(OSError):
+            path.unlink(missing_ok=True)
+        return _MISS
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` atomically and durably under ``key``.
+
+        The temp file is fsynced before the rename: after ``put``
+        returns, a crash (even a power cut, on a journaling fs) leaves
+        either the complete new entry or whatever was there before —
+        never a torn one.
+
+        A concurrent :meth:`clear` may sweep this writer's temp file
+        (or its fan-out directory) out from under the rename; that
+        specific race is retried with a fresh temp file rather than
+        surfaced, so two processes sharing a root can put/clear freely.
+        """
+        payload = {"format": CACHE_FORMAT, "key": key, "value": value}
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(blob).digest()
+        path = self._path(key)
+        for attempt in range(8):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            except FileNotFoundError:
+                continue  # parent swept between mkdir and mkstemp
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(ENTRY_MAGIC)
+                    fh.write(digest)
+                    fh.write(blob)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp_name, path)
+                return
+            except FileNotFoundError:
+                # The temp file vanished (concurrent clear): try again.
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_name)
+                continue
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_name)
+                raise
+        raise OSError(  # pragma: no cover - pathological contention
+            f"cache put for {key} lost its temp file {attempt + 1} times"
+        )
+
+    def _entries(self):
+        for entry in self.root.glob("*/*.pkl"):
+            if entry.parent.name != QUARANTINE_DIR:
+                yield entry
 
     def __contains__(self, key: str) -> bool:
         return self._load(key) is not _MISS
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> None:
+        """Remove every entry, tolerating concurrent writers and readers.
+
+        Unlink-only (no directory removal), so a concurrent ``put``
+        racing with ``clear`` either lands after (entry survives) or
+        is removed whole — a reader can never observe a half-entry.
+        Quarantined entries are purged too.
+        """
         for entry in self.root.glob("*/*.pkl"):
-            entry.unlink(missing_ok=True)
+            with contextlib.suppress(OSError):
+                entry.unlink(missing_ok=True)
+        for leftover in self.root.glob("*/*.tmp"):
+            with contextlib.suppress(OSError):
+                leftover.unlink(missing_ok=True)

@@ -11,12 +11,16 @@ batch completes (graceful degradation).
 
 Two caveats, both documented on :class:`FaultPolicy`:
 
-- pure-Python workers cannot be preempted, so in serial (``jobs=1``)
-  execution the timeout is advisory (checked after the fact), and in
-  pool execution a timed-out task's worker slot stays busy until the
-  task actually returns;
+- in serial (``jobs=1``) execution a pure-Python task cannot be
+  preempted, so the timeout is advisory (checked after the fact); in
+  pool execution the runner's watchdog *kills* the worker running a
+  timed-out task and respawns a fresh one, so the slot is reclaimed
+  immediately;
 - timeouts are not retried — a deterministic task that exceeded its
-  budget once will exceed it again.
+  budget once will exceed it again.  A crashed worker
+  (``KIND_BROKEN_POOL``) *is* retried under the policy: worker death
+  is usually environmental (OOM kill, preemption), not a property of
+  the task.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from repro.errors import ConfigError
 KIND_ERROR = "error"  # the task function raised
 KIND_TIMEOUT = "timeout"  # wall clock exceeded FaultPolicy.timeout_s
 KIND_BROKEN_POOL = "broken-pool"  # the worker process died
+KIND_ABORTED = "aborted"  # batch stopped early (fail_fast) before this task ran
 
 
 @dataclass(frozen=True)
@@ -70,7 +75,7 @@ class TaskFailure:
     """Why one task ultimately failed (after any retries)."""
 
     key: str
-    kind: str  # KIND_ERROR, KIND_TIMEOUT or KIND_BROKEN_POOL
+    kind: str  # KIND_ERROR, KIND_TIMEOUT, KIND_BROKEN_POOL or KIND_ABORTED
     error: str  # repr of the exception, or a timeout description
     attempts: int = 1
 

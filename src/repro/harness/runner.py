@@ -1,10 +1,10 @@
 """Parallel experiment engine.
 
 Fans a batch of independent :class:`Task`\\ s — sweep points, replica
-runs, whole figures — across CPUs with a
-:class:`~concurrent.futures.ProcessPoolExecutor`, consulting a
-:class:`~repro.harness.cache.ResultCache` first and recording every
-step through :class:`~repro.harness.telemetry.Telemetry`.
+runs, whole figures — across CPUs on a small dedicated worker pool,
+consulting a :class:`~repro.harness.cache.ResultCache` and a
+:class:`~repro.harness.checkpoint.CampaignManifest` first and recording
+every step through :class:`~repro.harness.telemetry.Telemetry`.
 
 Determinism is the design center: a task carries *all* of its inputs
 (including any RNG seeding, typically an
@@ -13,11 +13,23 @@ Determinism is the design center: a task carries *all* of its inputs
 order — so ``jobs=1`` and ``jobs=8`` produce bit-identical results and
 the cache can address results by input content alone.
 
+Resilience is the other half of the design:
+
+- each worker is an owned process with its own pipe, so the parent's
+  watchdog can *kill* a worker whose task exceeded its wall-clock
+  budget and respawn a replacement — a hung task costs its slot for
+  exactly ``timeout_s``, never the rest of the campaign;
+- a worker that dies (segfault, OOM kill) fails or retries only *its*
+  task; the rest of the batch keeps running on the surviving workers;
+- with a manifest, every final outcome is journaled (fsynced) as it
+  lands, and ``interruptible=True`` turns SIGINT/SIGTERM into a clean
+  drain — in-flight tasks finish, their results persist, and
+  :class:`~repro.errors.CampaignInterrupted` tells the caller the
+  campaign can be resumed.
+
 Execution falls back to in-process serial mode when ``jobs <= 1`` or
 when a task is not picklable (e.g. a closure), with a telemetry event
-so silent degradation never masquerades as parallel speedup.  Worker
-crashes (``BrokenProcessPool``) fail the affected tasks — recorded,
-not raised — and the rest of the batch completes.
+so silent degradation never masquerades as parallel speedup.
 """
 
 from __future__ import annotations
@@ -25,16 +37,19 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import signal
 import sys
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from multiprocessing import connection
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
-from repro.errors import HarnessError
+from repro.errors import CampaignInterrupted, HarnessError
 from repro.harness.cache import ResultCache
 from repro.harness.faults import (
+    KIND_ABORTED,
     KIND_BROKEN_POOL,
     KIND_ERROR,
     KIND_TIMEOUT,
@@ -42,6 +57,9 @@ from repro.harness.faults import (
     TaskFailure,
 )
 from repro.harness.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.checkpoint import CampaignManifest
 
 
 @dataclass(frozen=True)
@@ -79,7 +97,7 @@ class TaskOutcome:
 
 
 def _invoke(fn: Callable[..., Any], args: tuple, kwargs: dict) -> tuple[Any, float, int]:
-    """Worker-side entry: run the task, measure it, report the pid."""
+    """In-process entry: run the task, measure it, report the pid."""
     t0 = time.perf_counter()
     value = fn(*args, **kwargs)
     return value, time.perf_counter() - t0, os.getpid()
@@ -109,6 +127,144 @@ def _mp_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context(method)
 
 
+# -- worker pool ------------------------------------------------------------
+
+
+def _worker_main(conn: connection.Connection) -> None:
+    """Worker-process loop: recv a task, run it, send the outcome back.
+
+    The worker ignores SIGINT — interrupts are the parent's to
+    coordinate (it drains in-flight tasks rather than losing them) —
+    and survives any exception a task raises, including a result that
+    fails to pickle on the way back.  Only ``os._exit`` / a signal
+    kills it, which the parent observes through the process sentinel.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:  # clean shutdown
+            break
+        fn, args, kwargs = message
+        t0 = time.perf_counter()
+        try:
+            value = fn(*args, **kwargs)
+        except BaseException as exc:
+            conn.send(("error", repr(exc), time.perf_counter() - t0, os.getpid()))
+            continue
+        try:
+            conn.send(("ok", value, time.perf_counter() - t0, os.getpid()))
+        except Exception as exc:
+            # Connection.send pickles before writing, so a value that
+            # cannot pickle leaves the channel clean — report it as a
+            # task error instead of dying.
+            conn.send(
+                ("error", f"result not picklable: {exc!r}",
+                 time.perf_counter() - t0, os.getpid())
+            )
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+class _Worker:
+    """One owned worker process plus its duplex pipe and current task."""
+
+    def __init__(self, ctx: multiprocessing.context.BaseContext, wid: int) -> None:
+        self.wid = wid
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True,
+            name=f"jmmw-worker-{wid}",
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.task: Task | None = None
+        self.attempt = 0
+        self.started = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def dispatch(self, task: Task, attempt: int) -> None:
+        """Ship a task to the worker; raises OSError if it is dead."""
+        self.conn.send((task.fn, task.args, dict(task.kwargs)))
+        self.task = task
+        self.attempt = attempt
+        self.started = time.monotonic()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (watchdog path: the task cannot be trusted)."""
+        self.process.kill()
+        self.process.join()
+        self.conn.close()
+
+    def shutdown(self) -> None:
+        """Best-effort clean stop at end of batch."""
+        try:
+            self.conn.send(None)
+        except OSError:
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join()
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _InterruptDrain:
+    """Turns SIGINT/SIGTERM into a drain request while a batch runs.
+
+    First signal: set :attr:`requested`; the runner stops dispatching,
+    finishes in-flight tasks, persists their outcomes, and raises
+    :class:`CampaignInterrupted`.  Second signal: give up on draining
+    and raise :class:`KeyboardInterrupt` immediately.  Installs only
+    from the main thread (signal API restriction); elsewhere it is a
+    no-op and the batch simply is not interruptible.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.count = 0
+        self._previous: dict[int, Any] = {}
+
+    def _handle(self, signum: int, frame: object) -> None:
+        self.count += 1
+        self.requested = True
+        if self.count >= 2:
+            raise KeyboardInterrupt
+
+    def __enter__(self) -> "_InterruptDrain":
+        if threading.current_thread() is threading.main_thread():
+            for sig in self.SIGNALS:
+                try:
+                    self._previous[sig] = signal.signal(sig, self._handle)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._previous.clear()
+
+
 def run_tasks(
     tasks: Sequence[Task],
     *,
@@ -116,13 +272,24 @@ def run_tasks(
     cache: ResultCache | None = None,
     telemetry: Telemetry | None = None,
     faults: FaultPolicy | None = None,
+    manifest: "CampaignManifest | None" = None,
+    fail_fast: bool = False,
+    interruptible: bool = False,
 ) -> list[TaskOutcome]:
     """Execute a batch of tasks; outcomes are returned in task order.
 
     A task that fails (after the fault policy's retries) yields an
     outcome with ``ok == False`` — the call itself raises only for
-    harness misuse (duplicate keys).  Successful, previously-uncached
-    results are written back to ``cache``.
+    harness misuse (duplicate keys) or a drained interrupt
+    (:class:`CampaignInterrupted`, only with ``interruptible=True``).
+    Successful, previously-uncached results are written back to
+    ``cache`` as they complete.
+
+    ``manifest`` journals every final outcome incrementally and serves
+    tasks the campaign already completed (``resume/skip`` in
+    telemetry) without recomputing them.  ``fail_fast`` stops
+    dispatching after the first ultimate failure; not-yet-started
+    tasks fail with ``KIND_ABORTED``.
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
     faults = faults if faults is not None else FaultPolicy()
@@ -132,15 +299,44 @@ def run_tasks(
 
     outcomes: dict[str, TaskOutcome] = {}
     pending: list[Task] = []
+    quarantined_before = cache.quarantined if cache is not None else 0
     for task in tasks:
+        if manifest is not None:
+            hit, value = manifest.lookup(task.key)
+            if hit:
+                telemetry.emit("resume/skip", task=task.key)
+                outcomes[task.key] = TaskOutcome(
+                    key=task.key, value=value, cached=True
+                )
+                continue
         if cache is not None and task.cache_key is not None:
             hit, value = cache.get(task.cache_key)
             if hit:
                 telemetry.emit("cache/hit", task=task.key)
-                outcomes[task.key] = TaskOutcome(key=task.key, value=value, cached=True)
+                outcome = TaskOutcome(key=task.key, value=value, cached=True)
+                outcomes[task.key] = outcome
+                if manifest is not None:
+                    manifest.record(task.key, outcome)
                 continue
             telemetry.emit("cache/miss", task=task.key)
         pending.append(task)
+    if cache is not None and cache.quarantined > quarantined_before:
+        telemetry.emit(
+            "cache/quarantined", entries=cache.quarantined - quarantined_before
+        )
+
+    def record(task: Task, outcome: TaskOutcome) -> None:
+        """Persist one final outcome the moment it exists."""
+        outcomes[task.key] = outcome
+        if (
+            cache is not None
+            and outcome.ok
+            and not outcome.cached
+            and task.cache_key is not None
+        ):
+            cache.put(task.cache_key, outcome.value)
+        if manifest is not None:
+            manifest.record(task.key, outcome)
 
     effective_jobs = max(1, int(jobs))
     if effective_jobs > 1 and pending:
@@ -151,25 +347,70 @@ def run_tasks(
             )
             effective_jobs = 1
 
-    if effective_jobs <= 1:
-        for task in pending:
-            outcomes[task.key] = _run_one_serial(task, telemetry, faults)
-    elif pending:
-        _run_pool(pending, effective_jobs, telemetry, faults, outcomes)
-
-    if cache is not None:
-        for task in tasks:
-            outcome = outcomes[task.key]
-            if outcome.ok and not outcome.cached and task.cache_key is not None:
-                cache.put(task.cache_key, outcome.value)
+    drain = _InterruptDrain() if interruptible else None
+    try:
+        if drain is not None:
+            drain.__enter__()
+        if effective_jobs <= 1:
+            _run_serial(pending, telemetry, faults, record, drain, fail_fast)
+        elif pending:
+            _run_pool(
+                pending, effective_jobs, telemetry, faults, record, drain, fail_fast
+            )
+    finally:
+        if drain is not None:
+            drain.__exit__(None, None, None)
 
     for outcome in outcomes.values():
         telemetry.incr("task/ok" if outcome.ok else "task/failed")
+
+    remaining = tuple(key for key in keys if key not in outcomes)
+    if remaining:
+        if drain is not None and drain.requested:
+            telemetry.emit(
+                "run/interrupted", completed=len(outcomes), remaining=len(remaining)
+            )
+            raise CampaignInterrupted(len(outcomes), remaining)
+        raise HarnessError(  # pragma: no cover - internal consistency
+            f"runner lost outcomes for {remaining!r}"
+        )
     return [outcomes[key] for key in keys]
 
 
-def _run_one_serial(task: Task, telemetry: Telemetry, faults: FaultPolicy) -> TaskOutcome:
+def _abort_outcome(task: Task) -> TaskOutcome:
+    return TaskOutcome(
+        key=task.key,
+        failure=TaskFailure(
+            key=task.key, kind=KIND_ABORTED,
+            error="not run: batch aborted after an earlier failure", attempts=0,
+        ),
+        attempts=0,
+    )
+
+
+def _run_serial(
+    tasks: Sequence[Task],
+    telemetry: Telemetry,
+    faults: FaultPolicy,
+    record: Callable[[Task, TaskOutcome], None],
+    drain: _InterruptDrain | None,
+    fail_fast: bool,
+) -> None:
     """In-process execution with retries; timeouts are advisory only."""
+    aborted = False
+    for task in tasks:
+        if drain is not None and drain.requested:
+            return  # remaining tasks stay unrecorded -> CampaignInterrupted
+        if aborted:
+            record(task, _abort_outcome(task))
+            continue
+        outcome = _run_one_serial(task, telemetry, faults)
+        record(task, outcome)
+        if fail_fast and not outcome.ok:
+            aborted = True
+
+
+def _run_one_serial(task: Task, telemetry: Telemetry, faults: FaultPolicy) -> TaskOutcome:
     attempt = 0
     while True:
         attempt += 1
@@ -211,105 +452,177 @@ def _run_pool(
     jobs: int,
     telemetry: Telemetry,
     faults: FaultPolicy,
-    outcomes: dict[str, TaskOutcome],
+    record: Callable[[Task, TaskOutcome], None],
+    drain: _InterruptDrain | None,
+    fail_fast: bool,
 ) -> None:
-    """Fan tasks over a process pool; record failures, never raise."""
-    max_workers = min(jobs, len(tasks))
-    telemetry.emit("run/pool", jobs=max_workers, tasks=len(tasks))
-    inflight: dict[Future, tuple[Task, int, float]] = {}
+    """Fan tasks over owned worker processes; record failures, never raise.
+
+    The parent is the watchdog: it knows which worker runs which task
+    and for how long (the per-task heartbeat is the dispatch timestamp
+    plus the worker's result message), so a task exceeding
+    ``faults.timeout_s`` gets its worker killed and the slot respawned,
+    and a worker that dies on its own fails or retries only its task.
+    """
+    ctx = _mp_context()
+    n_workers = min(jobs, len(tasks))
+    telemetry.emit("run/pool", jobs=n_workers, tasks=len(tasks))
+    queue: deque[tuple[Task, int]] = deque((task, 1) for task in tasks)
+    workers = [_Worker(ctx, wid) for wid in range(n_workers)]
+    aborted = False
+
+    def finish(task: Task, outcome: TaskOutcome) -> None:
+        nonlocal aborted
+        record(task, outcome)
+        if fail_fast and not outcome.ok:
+            aborted = True
+
+    def respawn(index: int) -> None:
+        workers[index] = _Worker(ctx, workers[index].wid)
+        telemetry.emit("pool/respawn", worker=workers[index].wid)
+
+    def retry_or_fail(task: Task, attempt: int, kind: str, error: str) -> None:
+        if kind != KIND_TIMEOUT and faults.should_retry(attempt):
+            telemetry.emit("task/retry", task=task.key, attempt=attempt)
+            time.sleep(faults.delay(attempt))
+            queue.appendleft((task, attempt + 1))
+            return
+        finish(
+            task,
+            TaskOutcome(
+                key=task.key,
+                failure=TaskFailure(
+                    key=task.key, kind=kind, error=error, attempts=attempt
+                ),
+                attempts=attempt,
+            ),
+        )
+
+    def handle_message(worker: _Worker) -> bool:
+        """Consume one result message; False means the pipe is dead."""
+        try:
+            status, payload, wall_s, pid = worker.conn.recv()
+        except (EOFError, OSError):
+            return False
+        task, attempt = worker.task, worker.attempt
+        worker.task = None
+        if status == "ok":
+            telemetry.emit(
+                "task/end", task=task.key, attempt=attempt,
+                wall_s=round(wall_s, 6), worker=pid,
+            )
+            finish(
+                task,
+                TaskOutcome(
+                    key=task.key, value=payload, wall_s=wall_s, attempts=attempt,
+                    worker=pid,
+                ),
+            )
+        else:
+            telemetry.emit(
+                "task/error", task=task.key, attempt=attempt, error=payload
+            )
+            retry_or_fail(task, attempt, KIND_ERROR, payload)
+        return True
+
+    def worker_died(index: int) -> None:
+        worker = workers[index]
+        task, attempt = worker.task, worker.attempt
+        exitcode = worker.process.exitcode
+        telemetry.emit("run/broken-pool", task=task.key, exitcode=exitcode)
+        worker.task = None
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        worker.process.join()
+        respawn(index)
+        retry_or_fail(
+            task, attempt, KIND_BROKEN_POOL,
+            f"worker process died (exit code {exitcode})",
+        )
+
     try:
-        with ProcessPoolExecutor(max_workers=max_workers, mp_context=_mp_context()) as pool:
-
-            def submit(task: Task, attempt: int) -> None:
-                telemetry.emit("task/start", task=task.key, attempt=attempt)
-                future = pool.submit(_invoke, task.fn, task.args, dict(task.kwargs))
-                inflight[future] = (task, attempt, time.monotonic())
-
-            for task in tasks:
-                submit(task, attempt=1)
-
-            while inflight:
-                tick = 0.05 if faults.timeout_s is not None else None
-                done, _ = wait(set(inflight), timeout=tick, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task, attempt, _t0 = inflight.pop(future)
-                    try:
-                        value, wall_s, pid = future.result()
-                    except BrokenProcessPool:
-                        raise
-                    except Exception as exc:
+        while True:
+            stopping = aborted or (drain is not None and drain.requested)
+            if not stopping:
+                for index, worker in enumerate(workers):
+                    while queue and not worker.busy:
+                        task, attempt = queue.popleft()
                         telemetry.emit(
-                            "task/error", task=task.key, attempt=attempt,
-                            error=repr(exc),
+                            "task/start", task=task.key, attempt=attempt,
+                            worker=worker.process.pid,
                         )
-                        if faults.should_retry(attempt):
-                            telemetry.emit("task/retry", task=task.key, attempt=attempt)
-                            time.sleep(faults.delay(attempt))
-                            submit(task, attempt + 1)
-                        else:
-                            outcomes[task.key] = TaskOutcome(
-                                key=task.key,
-                                failure=TaskFailure(
-                                    key=task.key, kind=KIND_ERROR, error=repr(exc),
-                                    attempts=attempt,
-                                ),
-                                attempts=attempt,
+                        try:
+                            worker.dispatch(task, attempt)
+                        except OSError:
+                            # Idle worker found dead at dispatch: the
+                            # task is not charged an attempt.
+                            queue.appendleft((task, attempt))
+                            telemetry.emit(
+                                "run/broken-pool", task=task.key,
+                                exitcode=worker.process.exitcode,
                             )
-                        continue
-                    telemetry.emit(
-                        "task/end", task=task.key, attempt=attempt,
-                        wall_s=round(wall_s, 6), worker=pid,
-                    )
-                    outcomes[task.key] = TaskOutcome(
-                        key=task.key, value=value, wall_s=wall_s, attempts=attempt,
-                        worker=pid,
-                    )
-                if faults.timeout_s is None:
+                            respawn(index)
+                            worker = workers[index]
+            busy = [worker for worker in workers if worker.busy]
+            if not busy:
+                if stopping or not queue:
+                    break
+                continue  # pragma: no cover - dispatch always fills a slot
+            tick: float | None = None
+            if faults.timeout_s is not None or drain is not None:
+                tick = 0.05
+            waitables: list[Any] = [worker.conn for worker in busy]
+            waitables += [worker.process.sentinel for worker in busy]
+            ready = set(connection.wait(waitables, timeout=tick))
+            for index, worker in enumerate(workers):
+                if not worker.busy:
                     continue
+                if worker.conn in ready:
+                    if not handle_message(worker):
+                        worker_died(index)
+                elif worker.process.sentinel in ready:
+                    # Dead process; drain any result it managed to send.
+                    if worker.conn.poll():
+                        if not handle_message(worker):
+                            worker_died(index)
+                    else:
+                        worker_died(index)
+            if faults.timeout_s is not None:
                 now = time.monotonic()
-                for future in list(inflight):
-                    task, attempt, t0 = inflight[future]
-                    if now - t0 <= faults.timeout_s:
+                for index, worker in enumerate(workers):
+                    if not worker.busy:
                         continue
-                    # A running worker cannot be preempted: cancel if still
-                    # queued, otherwise abandon the future (its eventual
-                    # result is discarded) and fail the task.  Timeouts are
-                    # deterministic overruns, so they are not retried.
-                    future.cancel()
-                    del inflight[future]
+                    if now - worker.started <= faults.timeout_s:
+                        continue
+                    # Watchdog: kill the hung worker, reclaim the slot.
+                    task, attempt = worker.task, worker.attempt
+                    worker.task = None
+                    worker.kill()
+                    respawn(index)
                     telemetry.emit(
                         "task/timeout", task=task.key, attempt=attempt,
                         timeout_s=faults.timeout_s,
                     )
-                    outcomes[task.key] = TaskOutcome(
-                        key=task.key,
-                        failure=TaskFailure(
-                            key=task.key, kind=KIND_TIMEOUT,
-                            error=f"exceeded {faults.timeout_s}s", attempts=attempt,
+                    finish(
+                        task,
+                        TaskOutcome(
+                            key=task.key,
+                            failure=TaskFailure(
+                                key=task.key, kind=KIND_TIMEOUT,
+                                error=f"exceeded {faults.timeout_s}s (worker killed)",
+                                attempts=attempt,
+                            ),
+                            attempts=attempt,
                         ),
-                        attempts=attempt,
                     )
-    except BrokenProcessPool:
-        telemetry.emit("run/broken-pool", tasks=[t.key for t, _, _ in inflight.values()])
-        for task, attempt, _t0 in inflight.values():
-            if task.key in outcomes:
-                continue
-            outcomes[task.key] = TaskOutcome(
-                key=task.key,
-                failure=TaskFailure(
-                    key=task.key, kind=KIND_BROKEN_POOL,
-                    error="worker process died", attempts=attempt,
-                ),
-                attempts=attempt,
-            )
-    # Whatever the pool did, every task must have an outcome.
-    for task in tasks:
-        if task.key not in outcomes:
-            outcomes[task.key] = TaskOutcome(
-                key=task.key,
-                failure=TaskFailure(
-                    key=task.key, kind=KIND_BROKEN_POOL,
-                    error="task lost to pool shutdown", attempts=1,
-                ),
-                attempts=1,
-            )
+    finally:
+        for worker in workers:
+            worker.shutdown()
+    if aborted:
+        while queue:
+            task, _attempt = queue.popleft()
+            finish(task, _abort_outcome(task))
+    # An interrupt drain leaves queued tasks unrecorded on purpose:
+    # run_tasks turns them into CampaignInterrupted.remaining.

@@ -25,15 +25,19 @@ def figure_cache_key(module_name: str, sim: SimConfig) -> str:
     The key records which replay path (vectorized or scalar) is
     active: the paths are bit-identical by contract, but keeping them
     as distinct cache entries means a parity regression can never hide
-    behind a stale cached result from the other path.
+    behind a stale cached result from the other path.  It also records
+    whether invariant checking is on: a checked run must not serve an
+    unchecked cached result, or the checking is silently skipped.
     """
     from repro.memsys.fastpath import fastpath_enabled
+    from repro.memsys.invariants import checking_enabled
 
     return content_key(
         kind="figure",
         module=module_name,
         sim=sim,
         fastpath=fastpath_enabled(),
+        checked=checking_enabled(),
     )
 
 
@@ -84,6 +88,8 @@ def characterize_cache_key(
     workload: str, n_procs: int, sim: SimConfig, seed: int, run_index: int
 ) -> str:
     """Cache key for one characterization replica."""
+    from repro.memsys.invariants import checking_enabled
+
     return content_key(
         kind="characterize-replica",
         workload=workload,
@@ -91,4 +97,45 @@ def characterize_cache_key(
         sim=sim,
         seed=seed,
         run_index=run_index,
+        checked=checking_enabled(),
+    )
+
+
+# -- campaign signatures -----------------------------------------------------
+#
+# A campaign signature describes one CLI invocation's entire batch of
+# work.  It goes through content_key, so it already folds in the
+# package code version: a manifest journaled by different code refuses
+# to resume, which is what makes resumed results bit-identical.
+
+
+def figures_campaign_signature(module_names: list[str], sim: SimConfig) -> str:
+    """Signature of one ``jmmw figures`` campaign."""
+    from repro.memsys.fastpath import fastpath_enabled
+    from repro.memsys.invariants import checking_enabled
+
+    return content_key(
+        kind="figures-campaign",
+        modules=tuple(module_names),
+        sim=sim,
+        fastpath=fastpath_enabled(),
+        checked=checking_enabled(),
+    )
+
+
+def characterize_campaign_signature(
+    workload: str, n_procs: int, sim: SimConfig, n_runs: int
+) -> str:
+    """Signature of one ``jmmw characterize --runs N`` campaign."""
+    from repro.memsys.fastpath import fastpath_enabled
+    from repro.memsys.invariants import checking_enabled
+
+    return content_key(
+        kind="characterize-campaign",
+        workload=workload,
+        n_procs=n_procs,
+        sim=sim,
+        n_runs=n_runs,
+        fastpath=fastpath_enabled(),
+        checked=checking_enabled(),
     )

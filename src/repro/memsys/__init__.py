@@ -13,6 +13,9 @@ Sumo cache simulator).  It provides:
   private or shared L2 caches (the chip-multiprocessor study);
 - :mod:`repro.memsys.multisim` — replay one trace through many cache
   geometries (miss-rate-vs-size curves);
+- :mod:`repro.memsys.invariants` — opt-in sampled runtime checking of
+  MOSI legality, L1/L2 inclusion, and stats conservation
+  (``JMMW_CHECK=1`` or ``--check-invariants``);
 - :mod:`repro.memsys.stackdist` — LRU stack-distance profiling;
 - :mod:`repro.memsys.storebuffer`, :mod:`repro.memsys.tlb` — the store
   buffer and TLB models behind the stall decomposition and the ISM
@@ -32,6 +35,7 @@ from repro.memsys.block import (
 from repro.memsys.cache import CacheStats, SetAssociativeCache
 from repro.memsys.coherence import CoherenceStats, MOSIBus, State
 from repro.memsys.hierarchy import MemoryHierarchy, ProcessorStats
+from repro.memsys.invariants import InvariantChecker, checking_enabled, sample_period
 from repro.memsys.latency import E6000_LATENCIES, LatencyBook
 from repro.memsys.misses import MissKind
 from repro.memsys.multisim import MultiConfigSimulator, simulate_miss_curve
@@ -58,6 +62,9 @@ __all__ = [
     "State",
     "MemoryHierarchy",
     "ProcessorStats",
+    "InvariantChecker",
+    "checking_enabled",
+    "sample_period",
     "E6000_LATENCIES",
     "LatencyBook",
     "MissKind",

@@ -263,7 +263,15 @@ class MOSIBus:
             del self._holders[block]
 
     def _install(self, cache_id: int, block: int, state: State) -> None:
-        """Insert the filled line, processing any eviction."""
+        """Insert the filled line, processing any eviction.
+
+        Evictions propagate through ``on_invalidate`` just like
+        coherence invalidations: an inclusive L2 must shoot down the
+        L1 copies above an evicted line, otherwise a stale L1 line
+        keeps serving hits after the L2 — and the bus's ``holders``
+        mirror — have forgotten the block entirely (and a later writer
+        elsewhere would never invalidate it).
+        """
         victim = self.caches[cache_id].insert(block, state)
         self.classifiers[cache_id].note_insert(block)
         self._holders.setdefault(block, set()).add(cache_id)
@@ -279,6 +287,8 @@ class MOSIBus:
         if vstate in (State.MODIFIED, State.OWNED):
             self.stats.writebacks += 1
             self.cache_stats[cache_id].writebacks += 1
+        if self._on_invalidate is not None:
+            self._on_invalidate(cache_id, vblock)
 
     def reset_stats(self) -> None:
         """Zero all counters, keeping cache contents and history.
@@ -291,7 +301,15 @@ class MOSIBus:
         self.stats = CoherenceStats()
         self.cache_stats = [CacheSideStats() for _ in self.caches]
 
-    # -- invariants (test support) ----------------------------------------
+    # -- invariants (test + checker support) -------------------------------
+
+    def holder_ids(self, block: int) -> frozenset[int]:
+        """Cache ids the bus mirror believes hold ``block``."""
+        return frozenset(self._holders.get(block, ()))
+
+    def mirrored_blocks(self) -> frozenset[int]:
+        """Every block the bus mirror believes is resident somewhere."""
+        return frozenset(self._holders)
 
     def check_invariants(self) -> None:
         """Verify protocol invariants; raises SimulationError on violation.

@@ -23,6 +23,7 @@ from repro.errors import ConfigError
 from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, STORE
 from repro.memsys.cache import SetAssociativeCache
 from repro.memsys.coherence import FILL_C2C, FILL_HIT, FILL_MEM, FILL_UPGRADE, MOSIBus
+from repro.memsys import invariants as _invariants
 
 
 @dataclass
@@ -77,6 +78,8 @@ class MemoryHierarchy:
         protocol: str = "mosi",
         include_l1: bool = True,
         track_lines: bool = True,
+        check_invariants: bool | None = None,
+        check_sample: int | None = None,
     ) -> None:
         self.machine = machine
         self.include_l1 = include_l1
@@ -106,6 +109,20 @@ class MemoryHierarchy:
             [cpu for cpu in range(n) if self._l2_of_cpu[cpu] == cid]
             for cid in range(machine.n_l2_caches)
         ]
+        # Opt-in runtime invariant checking (JMMW_CHECK=1 or explicit).
+        # When off — the default — the hot path is untouched; when on,
+        # the instance attribute shadows the class method so every
+        # access lands in the checker's sampled verification.
+        if check_invariants is None:
+            check_invariants = _invariants.checking_enabled()
+        self.checker: _invariants.InvariantChecker | None = None
+        if check_invariants:
+            period = (
+                check_sample if check_sample is not None
+                else _invariants.sample_period()
+            )
+            self.checker = _invariants.InvariantChecker(self, sample_every=period)
+            self.access = self._checked_access  # type: ignore[method-assign]
 
     # -- per-reference path -----------------------------------------------
 
@@ -181,6 +198,22 @@ class MemoryHierarchy:
                     stats.l2_load_misses += 1
         return source
 
+    def _checked_access(self, cpu: int, ref: int) -> str:
+        """``access`` with the invariant checker observing every reference."""
+        source = MemoryHierarchy.access(self, cpu, ref)
+        self.checker.record(cpu, ref, source)
+        return source
+
+    def check_invariants(self) -> None:
+        """Run the full invariant suite now, regardless of sampling.
+
+        Raises :class:`~repro.errors.InvariantViolation` on corruption.
+        Works whether or not the hierarchy was built with checking
+        enabled (a one-shot checker is created on demand).
+        """
+        checker = self.checker or _invariants.InvariantChecker(self, sample_every=1)
+        checker.check()
+
     def _shoot_down_l1(self, cache_id: int, block: int) -> None:
         """Invalidate L1 copies above an invalidated L2 line."""
         base = block << self._l2_bits
@@ -255,6 +288,10 @@ class MemoryHierarchy:
                 if end < len(trace):
                     next_live.append(cpu)
             live = next_live
+        if self.checker is not None:
+            # One guaranteed full check per replay, so corruption that
+            # slipped between samples still fails the run that made it.
+            self.checker.check()
 
     # -- aggregates -----------------------------------------------------------
 

@@ -1,0 +1,311 @@
+"""Runtime model invariants: catch simulator corruption while it runs.
+
+A coherence simulator that silently corrupts its own state does not
+crash — it publishes wrong curves.  This module makes the MOSI model
+self-checking: an opt-in :class:`InvariantChecker` hooks into
+:meth:`repro.memsys.hierarchy.MemoryHierarchy.access` and, on a
+sampled schedule, verifies that
+
+- **MOSI legality** holds: at most one MODIFIED copy of a block and
+  it is exclusive, at most one OWNED copy, EXCLUSIVE truly exclusive,
+  and the bus's ``holders`` mirror exactly matches cache contents;
+- **L1/L2 inclusion** holds: every L1-resident block's L2 line is
+  resident in that processor's L2 (maintained via invalidation and
+  eviction shoot-downs);
+- **stats conservation** holds: ``hits + misses == refs`` at each
+  level, ``c2c_fills + mem_fills == l2_misses``,
+  ``c2c_fills <= l2_misses``, and bus totals equal per-processor sums.
+
+A violation raises :class:`~repro.errors.InvariantViolation` carrying
+a diagnostic dump — the per-cache coherence state of the offending
+block plus a ring buffer of the last K accesses — so corruption is
+debuggable at the reference that exposed it, not thousands of
+references later.
+
+Enablement: pass ``check_invariants=True`` to ``MemoryHierarchy``, use
+``jmmw ... --check-invariants``, or set ``JMMW_CHECK=1`` in the
+environment (worker processes inherit it).  Sampling
+(``JMMW_CHECK_SAMPLE``, default every 8192 accesses, plus one full
+check at the end of every trace replay) keeps the overhead bounded:
+recording an access is one ring-buffer append; the full state scan is
+amortized across the sample period.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable
+
+import os
+
+from repro.errors import ConfigError, InvariantViolation
+from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, LOAD, STORE
+from repro.memsys.coherence import State
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memsys.hierarchy import MemoryHierarchy
+
+#: Environment switch: any of 1/true/yes/on enables checking.
+CHECK_ENV = "JMMW_CHECK"
+
+#: Environment override for the sampling period (accesses per check).
+SAMPLE_ENV = "JMMW_CHECK_SAMPLE"
+
+#: Default accesses between full state checks.
+DEFAULT_SAMPLE = 8192
+
+#: Default ring-buffer depth (most recent accesses kept for the dump).
+DEFAULT_HISTORY = 64
+
+_KIND_NAMES = {IFETCH: "ifetch", LOAD: "load", STORE: "store"}
+
+
+def checking_enabled() -> bool:
+    """Whether ``JMMW_CHECK`` asks for invariant checking."""
+    return os.environ.get(CHECK_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def sample_period() -> int:
+    """Sampling period from ``JMMW_CHECK_SAMPLE`` (default 8192)."""
+    raw = os.environ.get(SAMPLE_ENV, "").strip()
+    if not raw:
+        return DEFAULT_SAMPLE
+    try:
+        period = int(raw)
+    except ValueError:
+        raise ConfigError(f"{SAMPLE_ENV} must be an integer, got {raw!r}") from None
+    if period < 1:
+        raise ConfigError(f"{SAMPLE_ENV} must be >= 1, got {period}")
+    return period
+
+
+class InvariantChecker:
+    """Sampled runtime verification of a :class:`MemoryHierarchy`.
+
+    ``sample_every=1`` checks after every access (exhaustive, for
+    tests and post-mortems); larger periods bound the cost for long
+    campaigns.  Every recorded access lands in a ring buffer of depth
+    ``history`` regardless of sampling, so a violation's dump always
+    shows the most recent traffic.
+    """
+
+    def __init__(
+        self,
+        hierarchy: "MemoryHierarchy",
+        sample_every: int = DEFAULT_SAMPLE,
+        history: int = DEFAULT_HISTORY,
+    ) -> None:
+        if sample_every < 1:
+            raise ConfigError(f"sample_every must be >= 1, got {sample_every}")
+        if history < 1:
+            raise ConfigError(f"history must be >= 1, got {history}")
+        self.hierarchy = hierarchy
+        self.sample_every = sample_every
+        self._ring: deque[tuple[int, int, int, int, str]] = deque(maxlen=history)
+        self._seen = 0
+        self.checks_run = 0
+
+    # -- hot path ---------------------------------------------------------
+
+    def record(self, cpu: int, ref: int, outcome: str) -> None:
+        """Note one access; run the full check every ``sample_every``."""
+        self._seen += 1
+        self._ring.append((self._seen, cpu, ref & 0x3, ref >> 2, outcome))
+        if self._seen % self.sample_every == 0:
+            self.check()
+
+    # -- full check -------------------------------------------------------
+
+    def check(self) -> None:
+        """Verify every invariant now; raises :class:`InvariantViolation`."""
+        self.checks_run += 1
+        self._check_coherence()
+        self._check_inclusion()
+        self._check_conservation()
+
+    def _fail(self, message: str, block: int | None = None) -> None:
+        raise InvariantViolation(message, self._dump(block))
+
+    # -- MOSI legality ----------------------------------------------------
+
+    def _check_coherence(self) -> None:
+        bus = self.hierarchy.bus
+        seen: dict[int, list[tuple[int, State]]] = {}
+        for cid, cache in enumerate(bus.caches):
+            for block in cache.resident_blocks():
+                seen.setdefault(block, []).append((cid, cache.probe(block)))
+        for block, copies in seen.items():
+            states = [state for _, state in copies]
+            if states.count(State.MODIFIED) > 1:
+                self._fail(f"block {block:#x}: two MODIFIED copies", block)
+            if State.MODIFIED in states and len(copies) > 1:
+                self._fail(f"block {block:#x}: MODIFIED copy is not exclusive", block)
+            if State.EXCLUSIVE in states and len(copies) > 1:
+                self._fail(f"block {block:#x}: EXCLUSIVE copy is not exclusive", block)
+            if states.count(State.OWNED) > 1:
+                self._fail(f"block {block:#x}: two OWNED copies", block)
+            mirror = bus.holder_ids(block)
+            actual = frozenset(cid for cid, _ in copies)
+            if mirror != actual:
+                self._fail(
+                    f"block {block:#x}: holders mirror {sorted(mirror)} != "
+                    f"resident caches {sorted(actual)}",
+                    block,
+                )
+        for block in bus.mirrored_blocks():
+            if block not in seen:
+                self._fail(
+                    f"block {block:#x}: holders mirror says "
+                    f"{sorted(bus.holder_ids(block))}, but no cache holds it",
+                    block,
+                )
+
+    # -- L1/L2 inclusion --------------------------------------------------
+
+    def _check_inclusion(self) -> None:
+        h = self.hierarchy
+        if not h.include_l1:
+            return
+        shift_i = h._l2_bits - h._l1i_bits
+        shift_d = h._l2_bits - h._l1d_bits
+        for cpu in range(h.machine.n_procs):
+            l2 = h.bus.caches[h._l2_of_cpu[cpu]]
+            self._check_l1_subset(
+                cpu, "L1I", h._l1i[cpu].resident_blocks(), shift_i, l2
+            )
+            self._check_l1_subset(
+                cpu, "L1D", h._l1d[cpu].resident_blocks(), shift_d, l2
+            )
+
+    def _check_l1_subset(
+        self, cpu: int, label: str, blocks: Iterable[int], shift: int, l2
+    ) -> None:
+        for l1_block in blocks:
+            l2_block = l1_block >> shift
+            if not l2.contains(l2_block):
+                self._fail(
+                    f"inclusion: cpu {cpu} {label} holds L1 block "
+                    f"{l1_block:#x} but its L2 line {l2_block:#x} is not "
+                    f"resident",
+                    l2_block,
+                )
+
+    # -- stats conservation ------------------------------------------------
+
+    def _check_conservation(self) -> None:
+        h = self.hierarchy
+        for cpu, s in enumerate(h.proc_stats):
+            where = f"cpu {cpu}"
+            if s.instructions != s.ifetches * INSTRUCTIONS_PER_IFETCH:
+                self._fail(
+                    f"{where}: instructions ({s.instructions}) != ifetches "
+                    f"({s.ifetches}) * {INSTRUCTIONS_PER_IFETCH}"
+                )
+            if h.include_l1:
+                if s.l1i_accesses != s.ifetches:
+                    self._fail(
+                        f"{where}: l1i_accesses ({s.l1i_accesses}) != "
+                        f"ifetches ({s.ifetches})"
+                    )
+                if s.l1d_accesses != s.loads:
+                    self._fail(
+                        f"{where}: l1d_accesses ({s.l1d_accesses}) != "
+                        f"loads ({s.loads})"
+                    )
+                if s.l1i_misses > s.l1i_accesses or s.l1d_misses > s.l1d_accesses:
+                    self._fail(f"{where}: more L1 misses than L1 accesses")
+                l2_refs = s.l1i_misses + s.l1d_misses + s.stores
+            else:
+                l2_refs = s.ifetches + s.loads + s.stores
+            if s.l2_hits + s.upgrades + s.l2_misses != l2_refs:
+                self._fail(
+                    f"{where}: l2 hits ({s.l2_hits}) + upgrades ({s.upgrades}) "
+                    f"+ misses ({s.l2_misses}) != L2 refs ({l2_refs}) — "
+                    f"hits + misses must equal refs"
+                )
+            if s.c2c_fills + s.mem_fills != s.l2_misses:
+                self._fail(
+                    f"{where}: c2c_fills ({s.c2c_fills}) + mem_fills "
+                    f"({s.mem_fills}) != l2_misses ({s.l2_misses})"
+                )
+            if s.c2c_fills > s.l2_misses:
+                self._fail(
+                    f"{where}: c2c_fills ({s.c2c_fills}) > l2_misses "
+                    f"({s.l2_misses})"
+                )
+            if s.l2_instr_misses + s.l2_data_misses != s.l2_misses:
+                self._fail(
+                    f"{where}: instr ({s.l2_instr_misses}) + data "
+                    f"({s.l2_data_misses}) miss split != l2_misses "
+                    f"({s.l2_misses})"
+                )
+            if s.c2c_load_fills > s.c2c_fills or s.mem_load_fills > s.mem_fills:
+                self._fail(f"{where}: load-fill counters exceed their totals")
+            if s.l2_load_hits > s.l2_hits or s.l2_load_misses > s.l2_data_misses:
+                self._fail(f"{where}: load hit/miss counters exceed their totals")
+        bus = h.bus
+        if bus.stats.total_misses != h.total_l2_misses:
+            self._fail(
+                f"bus total misses ({bus.stats.total_misses}) != sum of "
+                f"per-processor l2_misses ({h.total_l2_misses})"
+            )
+        if bus.stats.c2c_transfers != h.total_c2c_fills:
+            self._fail(
+                f"bus c2c transfers ({bus.stats.c2c_transfers}) != sum of "
+                f"per-processor c2c_fills ({h.total_c2c_fills})"
+            )
+        for cid, side in enumerate(bus.cache_stats):
+            if side.c2c_fills + side.mem_fills != side.misses:
+                self._fail(
+                    f"L2[{cid}]: c2c ({side.c2c_fills}) + mem "
+                    f"({side.mem_fills}) fills != misses ({side.misses})"
+                )
+            if side.misses > side.accesses:
+                self._fail(
+                    f"L2[{cid}]: misses ({side.misses}) > accesses "
+                    f"({side.accesses})"
+                )
+
+    # -- diagnostics -------------------------------------------------------
+
+    def _dump(self, block: int | None) -> str:
+        """Per-cache state for ``block`` plus the recent-access ring."""
+        h = self.hierarchy
+        lines = []
+        if block is not None:
+            lines.append(f"-- state of block {block:#x} --")
+            for cid, cache in enumerate(h.bus.caches):
+                state = cache.probe(block)
+                name = state.name if isinstance(state, State) else repr(state)
+                lines.append(
+                    f"  L2[{cid}]: {'absent' if state is None else name}"
+                )
+            lines.append(
+                f"  holders mirror: {sorted(h.bus.holder_ids(block)) or '{}'}"
+            )
+            if h.include_l1:
+                shift_i = h._l2_bits - h._l1i_bits
+                shift_d = h._l2_bits - h._l1d_bits
+                residents = []
+                for cpu in range(h.machine.n_procs):
+                    held = []
+                    if any(
+                        b >> shift_i == block for b in h._l1i[cpu].resident_blocks()
+                    ):
+                        held.append("L1I")
+                    if any(
+                        b >> shift_d == block for b in h._l1d[cpu].resident_blocks()
+                    ):
+                        held.append("L1D")
+                    if held:
+                        residents.append(f"cpu{cpu}:{'+'.join(held)}")
+                lines.append(f"  L1 residency: {', '.join(residents) or 'none'}")
+        lines.append(
+            f"-- last {len(self._ring)} of {self._seen} recorded accesses --"
+        )
+        for seq, cpu, kind, addr, outcome in self._ring:
+            kind_name = _KIND_NAMES.get(kind, f"kind{kind}")
+            lines.append(
+                f"  #{seq} cpu{cpu} {kind_name} addr={addr:#x} -> {outcome}"
+            )
+        return "\n".join(lines)

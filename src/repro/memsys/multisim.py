@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.memsys.config import CacheConfig
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError, InvariantViolation, SimulationError
 from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, STORE
 from repro.memsys.cache import SetAssociativeCache
 
@@ -99,14 +99,60 @@ class MultiConfigSimulator:
         self._warm_stats = [(c.stats.accesses, c.stats.misses) for c in self.caches]
         self._warm_instructions = self.instructions
 
+    def verify(self) -> None:
+        """Check the sweep's internal consistency.
+
+        Raises :class:`~repro.errors.InvariantViolation` when the
+        replay machinery has corrupted itself: every cache must have
+        seen the same reference stream (identical access counts),
+        misses can never exceed accesses, occupancy can never exceed
+        capacity, and a warmup snapshot can never run ahead of the
+        live counters it was taken from.
+        """
+        accesses = {cache.stats.accesses for cache in self.caches}
+        if len(accesses) > 1:
+            raise InvariantViolation(
+                f"caches saw different reference streams: access counts "
+                f"{sorted(accesses)}"
+            )
+        for cache in self.caches:
+            name = cache.config.name or f"{cache.config.size}B"
+            if cache.stats.misses > cache.stats.accesses:
+                raise InvariantViolation(
+                    f"cache {name}: misses ({cache.stats.misses}) > "
+                    f"accesses ({cache.stats.accesses})"
+                )
+            capacity = cache.config.assoc * cache.config.n_sets
+            if cache.occupancy() > capacity:
+                raise InvariantViolation(
+                    f"cache {name}: occupancy ({cache.occupancy()}) exceeds "
+                    f"capacity ({capacity})"
+                )
+        if self._warm_stats is not None:
+            if self._warm_instructions > self.instructions:
+                raise InvariantViolation(
+                    f"warmup snapshot has more instructions "
+                    f"({self._warm_instructions}) than the live counter "
+                    f"({self.instructions})"
+                )
+            for cache, (warm_acc, warm_miss) in zip(self.caches, self._warm_stats):
+                if warm_acc > cache.stats.accesses or warm_miss > cache.stats.misses:
+                    raise InvariantViolation(
+                        f"warmup snapshot ({warm_acc} accesses, {warm_miss} "
+                        f"misses) runs ahead of live counters "
+                        f"({cache.stats.accesses}, {cache.stats.misses})"
+                    )
+
     def results(self) -> list[MissCurvePoint]:
         """Miss-curve points over the post-warmup window.
 
+        Verifies internal consistency first (see :meth:`verify`).
         Raises :class:`~repro.errors.SimulationError` when a warmup
         window was requested at construction but :meth:`mark_warm` was
         never called — every reported point would silently include the
         cold-start transient the caller asked to exclude.
         """
+        self.verify()
         if self._warm_stats is None and self.warmup_fraction > 0.0:
             raise SimulationError(
                 f"results() called without a mark_warm() snapshot, but "

@@ -1,7 +1,14 @@
-"""Content-addressed result cache: keys, storage, invalidation."""
+"""Content-addressed result cache: keys, storage, invalidation, durability."""
+
+import multiprocessing
+import pickle
+
+import pytest
 
 from repro.core.config import SimConfig
 from repro.harness import ResultCache, code_version, content_key, default_cache_dir
+from repro.harness.cache import QUARANTINE_DIR
+from repro.harness.chaos import CORRUPTION_MODES, corrupt_cache_entry
 from repro.harness.tasks import figure_cache_key
 
 
@@ -66,6 +73,54 @@ def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
     assert not path.exists()
 
 
+@pytest.mark.parametrize("mode", CORRUPTION_MODES)
+def test_every_corruption_mode_quarantines(tmp_path, mode):
+    cache = ResultCache(tmp_path)
+    key = content_key(mode=mode)
+    cache.put(key, {"answer": 42})
+    damaged = corrupt_cache_entry(cache, key, mode)
+    assert cache.get(key) == (False, None)
+    assert cache.quarantined == 1
+    # The evidence is preserved aside, not destroyed.
+    assert not damaged.exists()
+    assert (tmp_path / QUARANTINE_DIR / damaged.name).exists()
+    # Quarantined entries don't count as live, and a re-put heals the key.
+    assert len(cache) == 0
+    cache.put(key, {"answer": 43})
+    assert cache.get(key) == (True, {"answer": 43})
+
+
+def test_checksum_catches_single_flipped_bit(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = content_key(x="bitrot")
+    cache.put(key, list(range(100)))
+    path = cache._path(key)
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0x01  # one bit, last byte of the payload
+    path.write_bytes(bytes(data))
+    assert cache.get(key) == (False, None)
+    assert cache.quarantined == 1
+
+
+def test_stale_pre_checksum_entry_dropped_silently(tmp_path):
+    """An old-layout entry (plain pickle dict) is stale, not corrupt."""
+    cache = ResultCache(tmp_path)
+    key = content_key(x="old")
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps({"format": 1, "key": key, "value": 5}))
+    assert cache.get(key) == (False, None)
+    assert cache.quarantined == 0
+    assert not path.exists()
+    assert not (tmp_path / QUARANTINE_DIR).exists()
+
+
+def test_put_leaves_no_temp_droppings(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(content_key(x=3), "value")
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
 def test_clear(tmp_path):
     cache = ResultCache(tmp_path)
     for i in range(3):
@@ -73,6 +128,49 @@ def test_clear(tmp_path):
     assert len(cache) == 3
     cache.clear()
     assert len(cache) == 0
+
+
+def _stress_writer(root: str, worker: int, iterations: int, out) -> None:
+    """Hammer one shared cache with interleaved put/get/clear."""
+    try:
+        cache = ResultCache(root)
+        for i in range(iterations):
+            key = content_key(stress=i % 8)
+            cache.put(key, {"worker": worker, "i": i, "pad": "x" * 256})
+            hit, value = cache.get(key)
+            # A concurrent clear may turn any get into a miss; a hit
+            # must always be a complete, well-formed entry.
+            if hit:
+                assert set(value) == {"worker", "i", "pad"}
+                assert len(value["pad"]) == 256
+            if worker == 0 and i % 16 == 7:
+                cache.clear()
+        out.put(("ok", worker, cache.quarantined))
+    except BaseException as exc:  # pragma: no cover - failure reporting
+        out.put(("error", worker, repr(exc)))
+
+
+def test_two_process_stress_never_corrupts(tmp_path):
+    """Two processes sharing a root: no torn reads, no quarantines.
+
+    Atomic renames mean a reader sees complete entries or nothing;
+    clear racing put must never expose a half-entry as a hit.
+    """
+    ctx = multiprocessing.get_context()
+    out = ctx.Queue()
+    procs = [
+        ctx.Process(target=_stress_writer, args=(str(tmp_path), w, 200, out))
+        for w in range(2)
+    ]
+    for p in procs:
+        p.start()
+    results = [out.get(timeout=60) for _ in procs]
+    for p in procs:
+        p.join(timeout=60)
+    assert all(status == "ok" for status, _, _ in results), results
+    # Concurrency alone must never manufacture corrupt entries.
+    assert all(quarantined == 0 for _, _, quarantined in results), results
+    assert not (tmp_path / QUARANTINE_DIR).exists()
 
 
 def test_default_cache_dir_env_override(monkeypatch, tmp_path):

@@ -15,7 +15,8 @@ def test_info(capsys):
 
 def test_unknown_figure_id(capsys):
     assert main(["figures", "fig99", "--quick"]) == 2
-    assert "unknown figure" in capsys.readouterr().out
+    # Diagnostics go to stderr; stdout stays clean for figure output.
+    assert "unknown figure" in capsys.readouterr().err
 
 
 def test_characterize_quick(capsys):

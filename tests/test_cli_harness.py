@@ -75,7 +75,7 @@ def test_characterize_multirun_reports_error_bars(smoke_env, capsys):
 def test_characterize_injected_failure_degrades_gracefully(
     smoke_env, monkeypatch, capsys
 ):
-    """A raising replica is excluded + traced; exit stays 0 (no check failed)."""
+    """A raising replica is excluded, summarized on stderr, and exits 1."""
     import repro.harness.tasks as harness_tasks
 
     real = harness_tasks.characterize_replica
@@ -93,10 +93,11 @@ def test_characterize_injected_failure_degrades_gracefully(
             "--runs", "3", "--no-cache", "--trace", str(trace),
         ]
     )
-    assert rc == 0
-    out = capsys.readouterr().out
-    assert "2/3 replicas" in out
-    assert "warning: 1 replica(s) failed" in out
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "2/3 replicas" in captured.out
+    assert "1 replica(s) failed" in captured.err
+    assert "injected replica failure" in captured.err
     failures = [
         json.loads(line)
         for line in trace.read_text().splitlines()

@@ -1,0 +1,172 @@
+"""CLI resilience: exit codes, --fail-fast, interrupt + --resume.
+
+Figure execution is stubbed with a fast deterministic driver so these
+tests exercise the campaign plumbing (manifest, drain, exit hygiene)
+rather than the simulator.  The characterize resume test runs the real
+pipeline at --quick effort to prove resumed stdout is byte-identical.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+import repro.figures.common as common
+from repro.cli import main
+from repro.core.config import SimConfig
+from repro.figures.common import FigureResult
+
+SMOKE_SIM = SimConfig(seed=1234, refs_per_proc=25_000, warmup_fraction=0.5)
+
+
+@pytest.fixture
+def cli_env(monkeypatch, tmp_path):
+    monkeypatch.setattr(common, "QUICK_SIM", SMOKE_SIM)
+    monkeypatch.setenv("JMMW_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path
+
+
+def _stub_result(module_name: str) -> FigureResult:
+    fig_id = module_name.split("_", 1)[0]
+    return FigureResult(
+        figure_id=fig_id,
+        title=f"stub {module_name}",
+        columns=["k", "v"],
+        rows=[(1, 2.0), (3, 4.0)],
+        paper_claim="stubbed",
+    )
+
+
+@pytest.fixture
+def stub_figures(monkeypatch):
+    """Replace figure execution with a fast deterministic stub."""
+    monkeypatch.setattr(
+        common, "run_figure", lambda module_name, sim: _stub_result(module_name)
+    )
+    monkeypatch.setattr(
+        common, "figure_checks", lambda module_name, result: [("stub claim", True)]
+    )
+
+
+# -- exit-code hygiene -------------------------------------------------------
+
+
+def test_unknown_figure_exits_2_on_stderr(cli_env, capsys):
+    assert main(["figures", "nope", "--quick"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown figure" in captured.err
+    assert "unknown figure" not in captured.out
+
+
+def test_failed_figure_sets_exit_code_and_stderr_summary(
+    cli_env, stub_figures, monkeypatch, capsys
+):
+    def explode(module_name, sim):
+        if module_name.startswith("fig05"):
+            raise RuntimeError("driver exploded")
+        return _stub_result(module_name)
+
+    monkeypatch.setattr(common, "run_figure", explode)
+    rc = main(["figures", "fig04", "fig05", "--quick", "--no-cache"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "fig04" in captured.out  # the healthy figure still rendered
+    assert "FAILED to run" in captured.out
+    assert "1 task(s) failed" in captured.err
+    assert "driver exploded" in captured.err
+
+
+def test_fail_fast_aborts_remaining_figures(
+    cli_env, stub_figures, monkeypatch, capsys
+):
+    def explode_first(module_name, sim):
+        if module_name.startswith("fig04"):
+            raise RuntimeError("first figure down")
+        return _stub_result(module_name)
+
+    monkeypatch.setattr(common, "run_figure", explode_first)
+    rc = main(["figures", "fig04", "fig05", "fig06", "--quick", "--no-cache",
+               "--fail-fast"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "3 task(s) failed" in captured.err
+    assert "aborted" in captured.err
+
+
+# -- interrupt + resume ------------------------------------------------------
+
+
+def test_interrupted_figures_campaign_resumes_byte_identically(
+    cli_env, stub_figures, monkeypatch, capsys
+):
+    argv = ["figures", "fig04", "fig05", "--quick", "--no-cache"]
+
+    # Baseline: the campaign end to end, no interruption.
+    assert main(argv) == 0
+    baseline = capsys.readouterr().out
+
+    # Fresh campaign in a fresh cache dir, interrupted during fig04.
+    monkeypatch.setenv("JMMW_CACHE_DIR", str(cli_env / "cache2"))
+
+    def interrupting(module_name, sim):
+        if module_name.startswith("fig04"):
+            os.kill(os.getpid(), signal.SIGINT)  # drain, don't lose it
+        return _stub_result(module_name)
+
+    monkeypatch.setattr(common, "run_figure", interrupting)
+    rc = main(argv)
+    assert rc == 130
+    captured = capsys.readouterr()
+    assert "campaign interrupted" in captured.err
+    assert "--resume" in captured.err
+    # The in-flight figure was drained into the manifest, fig05 never ran.
+    assert "1 task(s) completed, 1 remaining" in captured.err
+
+    # Resume: fig04 served from the manifest, fig05 computed, stdout
+    # byte-identical to the uninterrupted baseline.
+    rc = main(argv + ["--resume"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert captured.out == baseline
+    assert "resuming campaign: 1 task(s)" in captured.err
+
+
+def test_resume_without_prior_campaign_just_runs(cli_env, stub_figures, capsys):
+    rc = main(["figures", "fig04", "--quick", "--no-cache", "--resume"])
+    assert rc == 0
+    assert "fig04" in capsys.readouterr().out
+
+
+def test_characterize_resume_is_byte_identical(cli_env, capsys, tmp_path):
+    argv = [
+        "characterize", "specjbb", "-p", "2", "--quick", "--runs", "2",
+        "--no-cache",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "2/2 replicas" in first
+
+    trace = tmp_path / "resume-trace.jsonl"
+    assert main(argv + ["--resume", "--trace", str(trace)]) == 0
+    second = capsys.readouterr().out
+    assert second == first
+    events = [
+        json.loads(line)["event"] for line in trace.read_text().splitlines()
+    ]
+    assert events.count("resume/skip") == 2
+    assert "task/start" not in events
+
+
+def test_check_invariants_flag_passes_clean_run(cli_env, monkeypatch, capsys):
+    # setenv first so monkeypatch restores the variable afterwards
+    # (the CLI writes it through os.environ for workers to inherit).
+    monkeypatch.setenv("JMMW_CHECK", "0")
+    monkeypatch.setenv("JMMW_CHECK_SAMPLE", "4096")
+    rc = main(
+        ["characterize", "specjbb", "-p", "2", "--quick", "--runs", "1",
+         "--check-invariants"]
+    )
+    assert rc == 0
+    assert os.environ["JMMW_CHECK"] == "1"
+    assert "specjbb on 2 processors" in capsys.readouterr().out
