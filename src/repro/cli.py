@@ -4,10 +4,23 @@ Subcommands::
 
     jmmw figures [IDS...] [--quick] [--jobs N] [--no-cache] [--trace P]
                  [--no-fastpath] [--resume] [--fail-fast]
-                 [--check-invariants]    reproduce paper figures (default all)
+                 [--check-invariants] [--obs [P]]
+                                       reproduce paper figures (default all)
     jmmw characterize WORKLOAD [-p N] [--runs R] [--jobs N] ...
                                        one-call workload characterization
+    jmmw bench [--quick] [--reps N] [--threshold X] [--out-dir D]
+                                       time the pipeline, snapshot, and fail
+                                       on regression vs the prior BENCH_*.json
+    jmmw diffcheck [IDS...] [--refs N]  differentially validate the simulators
+                                       against brute-force reference oracles
     jmmw info                          inventory: machine, workloads, figures
+
+Observability: ``--obs`` (or ``JMMW_OBS=1``) turns on the span/counter
+instrumentation in :mod:`repro.obs` — timed pipeline spans and
+simulator counters, aggregated across worker processes — and prints
+the summary on *stderr* at the end of the run; ``--obs PATH``
+additionally exports the records as JSONL.  Stdout stays byte-stable
+with instrumentation on or off.
 
 Figure and replica execution goes through :mod:`repro.harness`:
 ``--jobs N`` fans independent work across N worker processes (results
@@ -60,10 +73,11 @@ def _figure_ids() -> dict[str, str]:
 
 
 def _apply_env_flags(args: argparse.Namespace) -> None:
-    """Apply ``--no-fastpath`` / ``--check-invariants``.
+    """Apply ``--no-fastpath`` / ``--check-invariants`` / ``--obs``.
 
-    Both are selected through the environment so forked worker
-    processes inherit them, and the cache keys record the choices.
+    All are selected through the environment so worker processes
+    inherit them (regardless of start method), and the cache keys
+    record the fastpath/invariant choices.
     """
     if getattr(args, "no_fastpath", False):
         from repro.memsys.fastpath import FASTPATH_ENV
@@ -73,6 +87,30 @@ def _apply_env_flags(args: argparse.Namespace) -> None:
         from repro.memsys.invariants import CHECK_ENV
 
         os.environ[CHECK_ENV] = "1"
+    if getattr(args, "obs", None) is not None:
+        from repro import obs
+
+        os.environ[obs.OBS_ENV] = "1"
+        if args.obs:  # --obs PATH: export JSONL there at the end
+            os.environ[obs.OBS_FILE_ENV] = args.obs
+        obs.enable()
+
+
+def _finish_obs() -> None:
+    """End-of-run observability reporting (stderr + optional JSONL).
+
+    A no-op unless instrumentation is on (``--obs`` or ``JMMW_OBS=1``),
+    so stdout and stderr are untouched in the default configuration.
+    """
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    print(obs.render_summary(), file=sys.stderr)
+    export = os.environ.get(obs.OBS_FILE_ENV, "").strip()
+    if export:
+        records = obs.export_jsonl(export)
+        print(f"obs: wrote {records} record(s) to {export}", file=sys.stderr)
 
 
 def _make_harness(args: argparse.Namespace):
@@ -181,6 +219,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         print()
     errors = _summarize_failures(outcomes)
     print(telemetry.render_summary(), file=sys.stderr)
+    _finish_obs()
     telemetry.close()
     manifest.close()
     return 1 if failures or errors else 0
@@ -198,6 +237,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         _apply_env_flags(args)
         report = characterize(args.workload, n_procs=args.procs, sim=sim)
         print(report.render())
+        _finish_obs()
         return 0
 
     # Multi-run characterization: replicas fan out through the harness
@@ -261,9 +301,74 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
     print(telemetry.render_summary(), file=sys.stderr)
+    _finish_obs()
     telemetry.close()
     manifest.close()
     return 1 if failures else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suite; exit 3 when a stage regressed."""
+    from repro.errors import ConfigError
+    from repro.obs.bench import run_bench
+
+    _apply_env_flags(args)
+    try:
+        _path, regressions, report = run_bench(
+            out_dir=args.out_dir,
+            reps=args.reps,
+            quick=args.quick,
+            threshold=args.threshold,
+            stages=args.stage or None,
+            compare=not args.no_compare,
+        )
+    except ConfigError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    _finish_obs()
+    if regressions:
+        print(
+            f"bench: {len(regressions)} stage(s) regressed past "
+            f"{args.threshold:.2f}x",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def cmd_diffcheck(args: argparse.Namespace) -> int:
+    """Differentially validate the simulators; exit 1 on divergence."""
+    from repro.core.config import SimConfig as _SimConfig
+    from repro.errors import ConfigError
+    from repro.obs.diffcheck import DIFF_SIM, run_all_figure_diffchecks
+
+    _apply_env_flags(args)
+    sim = DIFF_SIM
+    if args.refs is not None:
+        try:
+            sim = _SimConfig(
+                seed=DIFF_SIM.seed,
+                refs_per_proc=args.refs,
+                warmup_fraction=DIFF_SIM.warmup_fraction,
+            )
+        except ConfigError as exc:
+            print(f"diffcheck: {exc}", file=sys.stderr)
+            return 2
+    try:
+        reports = run_all_figure_diffchecks(args.ids or None, sim=sim)
+    except ConfigError as exc:
+        print(f"diffcheck: {exc}", file=sys.stderr)
+        return 2
+    diverged = 0
+    for report in reports:
+        print(report.render())
+        diverged += 0 if report.ok else 1
+    _finish_obs()
+    if diverged:
+        print(f"diffcheck: {diverged} configuration(s) diverged", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_info(_: argparse.Namespace) -> int:
@@ -309,6 +414,12 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
         "inclusion, stats conservation) on a sampled schedule while "
         "running; same as JMMW_CHECK=1",
     )
+    parser.add_argument(
+        "--obs", nargs="?", const="", default=None, metavar="PATH",
+        help="record pipeline spans and simulator counters (summary on "
+        "stderr at the end; with PATH, also exported as JSONL); same "
+        "as JMMW_OBS=1 [+ JMMW_OBS_FILE=PATH]",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -334,6 +445,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_harness_flags(character)
     character.set_defaults(fn=cmd_characterize)
+
+    bench = sub.add_parser(
+        "bench", help="time the pipeline and fail on regression"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads and at most 3 reps (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--reps", type=int, default=5, metavar="N",
+        help="repetitions per stage (default 5; median/IQR reported)",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=1.5, metavar="X",
+        help="fail when a stage's median exceeds X times the previous "
+        "snapshot's (default 1.5)",
+    )
+    bench.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for BENCH_*.json snapshots (default: repo root)",
+    )
+    bench.add_argument(
+        "--stage", action="append", metavar="NAME",
+        help="run only this stage (repeatable)",
+    )
+    bench.add_argument(
+        "--no-compare", action="store_true",
+        help="record a snapshot without comparing to the previous one",
+    )
+    bench.add_argument(
+        "--no-fastpath", action="store_true", help=argparse.SUPPRESS
+    )
+    bench.set_defaults(fn=cmd_bench, obs=None, check_invariants=False)
+
+    diffcheck = sub.add_parser(
+        "diffcheck",
+        help="validate simulators against brute-force reference oracles",
+    )
+    diffcheck.add_argument(
+        "ids", nargs="*",
+        help="figure ids to validate, e.g. fig12 fig16 (default: all 13)",
+    )
+    diffcheck.add_argument(
+        "--refs", type=int, default=None, metavar="N",
+        help="references per processor for the replayed traces "
+        "(default 4000; oracles are intentionally naive, keep it small)",
+    )
+    diffcheck.add_argument(
+        "--no-fastpath", action="store_true", help=argparse.SUPPRESS
+    )
+    diffcheck.set_defaults(fn=cmd_diffcheck, obs=None, check_invariants=False)
 
     info = sub.add_parser("info", help="show the modeled system inventory")
     info.set_defaults(fn=cmd_info)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs as _obs
 from repro.core.config import SimConfig, e6000_machine
 from repro.core.report import render_table
 from repro.errors import ConfigError
@@ -58,7 +59,8 @@ def run_figure(module_name: str, sim: SimConfig) -> FigureResult:
     import importlib
 
     module = importlib.import_module(f"repro.figures.{module_name}")
-    return module.run(sim)
+    with _obs.span("figure/run", module=module_name, refs=sim.refs_per_proc):
+        return module.run(sim)
 
 
 def figure_checks(module_name: str, result: FigureResult) -> list[tuple[str, bool]]:
@@ -113,7 +115,10 @@ def simulate_multiprocessor(
     "1-processor" runs (Section 4.3).
     """
     rng_factory = RngFactory(seed=sim.seed)
-    bundle = workload.generate(n_procs, sim, rng_factory)
+    with _obs.span(
+        "workload/trace-gen", workload=type(workload).__name__, procs=n_procs
+    ):
+        bundle = workload.generate(n_procs, sim, rng_factory)
     traces = list(bundle.per_cpu)
     total_procs = n_procs
     if include_os_processor:

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
+from repro import obs
 from repro.errors import CampaignInterrupted, HarnessError
 from repro.harness.cache import ResultCache
 from repro.harness.faults import (
@@ -103,6 +104,47 @@ def _invoke(fn: Callable[..., Any], args: tuple, kwargs: dict) -> tuple[Any, flo
     return value, time.perf_counter() - t0, os.getpid()
 
 
+def _absorb_observations(
+    obs_payload: tuple[dict, list[dict]] | None, telemetry: Telemetry
+) -> None:
+    """Merge a worker task's drained spans/counters into this process.
+
+    Worker tasks ship their observations back with the result message;
+    the spans land in :data:`repro.obs.SPANS` and the counters both in
+    :data:`repro.obs.COUNTERS` and the campaign's :class:`Telemetry` —
+    so ``jobs=1`` and ``jobs=8`` report identical totals.
+    """
+    if not obs_payload:
+        return
+    obs.ingest(obs_payload)
+    telemetry.merge_counters(obs_payload[0])
+
+
+def _serial_counters_before() -> dict[str, int | float] | None:
+    """Counter snapshot taken before an in-process task attempt."""
+    return obs.COUNTERS.snapshot() if obs.enabled() else None
+
+
+def _merge_serial_delta(
+    before: dict[str, int | float] | None, telemetry: Telemetry
+) -> None:
+    """Credit Telemetry with what one in-process attempt published.
+
+    Serial tasks record straight into the live singletons, so only the
+    Telemetry copy is missing — and it must be the attempt's *delta*,
+    not a cumulative re-drain, or totals inflate with every task.
+    """
+    if before is None:
+        return
+    delta: dict[str, int | float] = {}
+    for name, value in obs.COUNTERS.snapshot().items():
+        diff = value - before.get(name, 0)
+        if diff:
+            delta[name] = diff
+    if delta:
+        telemetry.merge_counters(delta)
+
+
 def _is_picklable(task: Task) -> bool:
     try:
         pickle.dumps((task.fn, task.args, dict(task.kwargs)))
@@ -150,22 +192,32 @@ def _worker_main(conn: connection.Connection) -> None:
             break
         if message is None:  # clean shutdown
             break
-        fn, args, kwargs = message
+        fn, args, kwargs, obs_on = message
+        # Observability follows the parent per message, so a worker
+        # respawned mid-campaign (watchdog kill, crash) records exactly
+        # like the one it replaced, regardless of start method.
+        if obs_on != obs.enabled():
+            obs.enable() if obs_on else obs.disable()
         t0 = time.perf_counter()
         try:
             value = fn(*args, **kwargs)
         except BaseException as exc:
-            conn.send(("error", repr(exc), time.perf_counter() - t0, os.getpid()))
+            conn.send(
+                ("error", repr(exc), time.perf_counter() - t0, os.getpid(),
+                 obs.drain_payload())
+            )
             continue
+        wall_s = time.perf_counter() - t0
+        payload = obs.drain_payload()
         try:
-            conn.send(("ok", value, time.perf_counter() - t0, os.getpid()))
+            conn.send(("ok", value, wall_s, os.getpid(), payload))
         except Exception as exc:
             # Connection.send pickles before writing, so a value that
             # cannot pickle leaves the channel clean — report it as a
             # task error instead of dying.
             conn.send(
-                ("error", f"result not picklable: {exc!r}",
-                 time.perf_counter() - t0, os.getpid())
+                ("error", f"result not picklable: {exc!r}", wall_s,
+                 os.getpid(), payload)
             )
     try:
         conn.close()
@@ -196,7 +248,7 @@ class _Worker:
 
     def dispatch(self, task: Task, attempt: int) -> None:
         """Ship a task to the worker; raises OSError if it is dead."""
-        self.conn.send((task.fn, task.args, dict(task.kwargs)))
+        self.conn.send((task.fn, task.args, dict(task.kwargs), obs.enabled()))
         self.task = task
         self.attempt = attempt
         self.started = time.monotonic()
@@ -415,9 +467,11 @@ def _run_one_serial(task: Task, telemetry: Telemetry, faults: FaultPolicy) -> Ta
     while True:
         attempt += 1
         telemetry.emit("task/start", task=task.key, attempt=attempt, worker=os.getpid())
+        counters_before = _serial_counters_before()
         try:
             value, wall_s, pid = _invoke(task.fn, task.args, dict(task.kwargs))
         except Exception as exc:
+            _merge_serial_delta(counters_before, telemetry)
             telemetry.emit(
                 "task/error", task=task.key, attempt=attempt, error=repr(exc)
             )
@@ -432,6 +486,7 @@ def _run_one_serial(task: Task, telemetry: Telemetry, faults: FaultPolicy) -> Ta
                 ),
                 attempts=attempt,
             )
+        _merge_serial_delta(counters_before, telemetry)
         if faults.timeout_s is not None and wall_s > faults.timeout_s:
             # Serial mode cannot preempt; flag the overrun but keep the result.
             telemetry.emit(
@@ -501,11 +556,12 @@ def _run_pool(
     def handle_message(worker: _Worker) -> bool:
         """Consume one result message; False means the pipe is dead."""
         try:
-            status, payload, wall_s, pid = worker.conn.recv()
+            status, payload, wall_s, pid, obs_payload = worker.conn.recv()
         except (EOFError, OSError):
             return False
         task, attempt = worker.task, worker.attempt
         worker.task = None
+        _absorb_observations(obs_payload, telemetry)
         if status == "ok":
             telemetry.emit(
                 "task/end", task=task.key, attempt=attempt,

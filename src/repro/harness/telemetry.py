@@ -55,6 +55,17 @@ class Telemetry:
         """Bump a counter without emitting a trace record."""
         self.counters[name] += n
 
+    def merge_counters(self, counts: dict[str, int | float]) -> None:
+        """Fold counters drained elsewhere into this run's totals.
+
+        The runner calls this with each task's observability payload
+        (see :func:`repro.obs.drain_payload`), so worker-side counts —
+        bus transactions, GC pauses, kernel invocations — appear in
+        the parent's end-of-run summary next to the harness events.
+        """
+        for name, value in counts.items():
+            self.counters[name] += value
+
     def summary_rows(self) -> list[tuple[str, int]]:
         """Counter values sorted by hierarchical name."""
         return sorted(self.counters.items())

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs as _obs
 from repro.errors import ConfigError
 from repro.jvm.heap import GenerationalHeap
 from repro.memsys.block import IFETCH_BYTES, LOAD, STORE, encode_ref
@@ -124,6 +125,11 @@ class GenerationalCollector:
         )
         self.events.append(event)
         self.total_gc_seconds += duration
+        _obs.incr("jvm/gc/collections")
+        _obs.incr("jvm/gc/pause_s", duration)
+        _obs.incr("jvm/gc/bytes_copied", copied)
+        if compacting:
+            _obs.incr("jvm/gc/compactions")
         return event
 
     # -- analytic helpers --------------------------------------------------

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.errors import ConfigError
 from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH
 from repro.memsys.config import CacheConfig
@@ -220,6 +221,7 @@ def lru_miss_mask(
     the inverted return value.  ``prev`` (previous occurrence of each
     block) can be passed in when already computed.
     """
+    _obs.incr("memsys/fastpath/lru_miss_mask")
     blocks = np.asarray(blocks, dtype=np.uint64)
     n = blocks.size
     if n == 0:
@@ -457,6 +459,7 @@ def stack_distances(blocks) -> np.ndarray:
     number of consecutive-occurrence intervals nested inside it, the
     latter being per-element inversion counts over the gap starts.
     """
+    _obs.incr("memsys/fastpath/stack_distances")
     arr = np.asarray(blocks)
     n = arr.size
     dist = np.full(n, -1, dtype=np.int64)

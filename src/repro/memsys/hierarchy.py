@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.memsys.config import MachineConfig
 from repro.errors import ConfigError
 from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, STORE
@@ -273,25 +274,55 @@ class MemoryHierarchy:
             self.reset_stats()
             self.run_trace(rest, quantum=quantum)
             return
+        # Observability is published per leaf replay (the warmup branch
+        # above recurses into two leaves around a reset_stats, so the
+        # bus-stat deltas below sum to the whole run's activity).
+        bus_before = self._bus_counter_snapshot() if _obs.enabled() else None
         access = self.access
         positions = [0] * len(per_cpu_traces)
         live = [cpu for cpu, t in enumerate(per_cpu_traces) if t]
-        while live:
-            next_live = []
-            for cpu in live:
-                trace = per_cpu_traces[cpu]
-                pos = positions[cpu]
-                end = min(pos + quantum, len(trace))
-                for i in range(pos, end):
-                    access(cpu, trace[i])
-                positions[cpu] = end
-                if end < len(trace):
-                    next_live.append(cpu)
-            live = next_live
+        with _obs.span(
+            "memsys/replay",
+            refs=sum(len(t) for t in per_cpu_traces),
+            procs=len(per_cpu_traces),
+        ):
+            while live:
+                next_live = []
+                for cpu in live:
+                    trace = per_cpu_traces[cpu]
+                    pos = positions[cpu]
+                    end = min(pos + quantum, len(trace))
+                    for i in range(pos, end):
+                        access(cpu, trace[i])
+                    positions[cpu] = end
+                    if end < len(trace):
+                        next_live.append(cpu)
+                live = next_live
+        if bus_before is not None:
+            self._publish_bus_counters(bus_before, sum(positions))
         if self.checker is not None:
             # One guaranteed full check per replay, so corruption that
             # slipped between samples still fails the run that made it.
             self.checker.check()
+
+    #: Bus counters published to the observability registry per replay.
+    _OBS_BUS_FIELDS = (
+        "bus_reads", "bus_read_exclusives", "upgrades", "silent_upgrades",
+        "c2c_transfers", "memory_fetches", "writebacks", "invalidations",
+    )
+
+    def _bus_counter_snapshot(self) -> tuple[int, ...]:
+        stats = self.bus.stats
+        return tuple(getattr(stats, name) for name in self._OBS_BUS_FIELDS)
+
+    def _publish_bus_counters(self, before: tuple[int, ...], refs: int) -> None:
+        """Publish this replay's bus-transaction deltas (obs enabled)."""
+        stats = self.bus.stats
+        for name, base in zip(self._OBS_BUS_FIELDS, before):
+            delta = getattr(stats, name) - base
+            if delta:
+                _obs.incr(f"memsys/bus/{name}", delta)
+        _obs.incr("memsys/replay/refs", refs)
 
     # -- aggregates -----------------------------------------------------------
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.memsys.config import CacheConfig
 from repro.errors import ConfigError, InvariantViolation, SimulationError
 from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, STORE
@@ -207,10 +208,17 @@ def simulate_miss_curve(
     ]
     split = int(len(trace) * warmup_fraction)
     use_fast = _fastpath.fastpath_enabled() if fastpath is None else fastpath
-    if use_fast:
-        return _fastpath.miss_curve_points(trace, configs, kind, split=split)
-    sim = MultiConfigSimulator(configs, kind=kind, warmup_fraction=warmup_fraction)
-    sim.replay(trace[:split])
-    sim.mark_warm()
-    sim.replay(trace[split:])
-    return sim.results()
+    with _obs.span(
+        "memsys/miss_curve",
+        kind=kind, points=len(sizes), refs=len(trace), fastpath=use_fast,
+    ):
+        if use_fast:
+            return _fastpath.miss_curve_points(trace, configs, kind, split=split)
+        _obs.incr("memsys/multisim/scalar_replays")
+        sim = MultiConfigSimulator(
+            configs, kind=kind, warmup_fraction=warmup_fraction
+        )
+        sim.replay(trace[:split])
+        sim.mark_warm()
+        sim.replay(trace[split:])
+        return sim.results()

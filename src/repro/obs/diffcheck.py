@@ -1,0 +1,902 @@
+"""Differential validation against independent reference oracles.
+
+The simulators in :mod:`repro.memsys` are optimized: dict-ordered LRU
+sets, a bus-side ``holders`` mirror instead of snooping every cache,
+vectorized replay kernels.  Every optimization is a place where the
+model can drift from its own specification without ever crashing.
+This module replays the *same* seeded traces through deliberately
+naive re-implementations — written from the protocol specification,
+sharing no mechanism with the production code — and diffs **full
+counter vectors**, not just miss totals:
+
+- :class:`OracleLRUCache` — brute-force per-set LRU (a list per set,
+  MRU at the tail), diffed per-access against both
+  :class:`repro.memsys.cache.SetAssociativeCache` and the vectorized
+  :func:`repro.memsys.fastpath.lru_miss_mask`;
+- :class:`OracleCoherentMachine` — a naive MOSI/MESI/MSI multi-CPU
+  hierarchy that snoops by scanning every cache (no holders mirror),
+  run in lockstep with :class:`repro.memsys.hierarchy.MemoryHierarchy`
+  and diffed on every per-CPU :class:`ProcessorStats` field, every
+  per-L2 side counter, the bus totals and the per-line C2C footprint;
+- :func:`oracle_stack_histogram` — an O(n·m) move-to-front stack
+  distance recount diffed against
+  :class:`repro.memsys.stackdist.StackDistanceProfiler` (both paths).
+
+A divergence is reported with *first-divergence context*: the
+reference index, CPU, kind and address where the models first
+disagree, plus a ring of the most recent accesses — corruption is
+debuggable at the reference that exposed it.
+
+:data:`FIGURE_DIFF_CONFIGS` maps each of the paper's 13 figures to the
+machine configuration it exercises (private L2s, shared L2s, the OS
+processor, GC copy streams, miss-curve sweeps, stack-distance
+profiles), so ``jmmw diffcheck`` validates every configuration the
+reproduction publishes numbers for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SimConfig
+from repro.errors import ConfigError
+from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, LOAD, STORE
+from repro.memsys.config import CacheConfig, MachineConfig, e6000_machine
+from repro.memsys.hierarchy import MemoryHierarchy
+
+_KIND_NAMES = {IFETCH: "ifetch", LOAD: "load", STORE: "store"}
+
+
+# -- reports ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Where and how a model first disagreed with its oracle."""
+
+    index: int            # reference index (or vector position)
+    detail: str           # what disagreed
+    context: str = ""     # recent-access ring / surrounding state
+
+    def __str__(self) -> str:
+        text = f"divergence at #{self.index}: {self.detail}"
+        if self.context:
+            text += "\n" + self.context
+        return text
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """Outcome of one differential check."""
+
+    name: str
+    n_refs: int
+    checks: int                       # counter-vector comparisons performed
+    divergence: Divergence | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def render(self) -> str:
+        if self.ok:
+            return f"[ok]   {self.name}: {self.n_refs} refs, {self.checks} vector checks"
+        return f"[FAIL] {self.name}: {self.divergence}"
+
+
+# -- oracle 1: brute-force per-set LRU --------------------------------------
+
+
+class OracleLRUCache:
+    """Set-associative true-LRU cache, the obvious way.
+
+    One Python list per set, most-recently-used block at the tail;
+    hits splice the block to the tail, misses append and evict the
+    head when the set is full.  No dict-ordering tricks, no shared
+    code with :class:`repro.memsys.cache.SetAssociativeCache`.
+    """
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        if n_sets <= 0 or assoc <= 0:
+            raise ConfigError("n_sets and assoc must be positive")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self._sets: list[list[int]] = [[] for _ in range(n_sets)]
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, block: int) -> bool:
+        """Touch ``block``; returns True on hit."""
+        lru = self._sets[block % self.n_sets]
+        self.accesses += 1
+        if block in lru:
+            lru.remove(block)
+            lru.append(block)
+            return True
+        self.misses += 1
+        if len(lru) >= self.assoc:
+            lru.pop(0)
+            self.evictions += 1
+        lru.append(block)
+        return False
+
+
+def reference_miss_flags(blocks, n_sets: int, assoc: int) -> list[bool]:
+    """Per-access miss flags from the brute-force oracle."""
+    cache = OracleLRUCache(n_sets, assoc)
+    if isinstance(blocks, np.ndarray):
+        blocks = blocks.tolist()
+    return [not cache.access(int(b)) for b in blocks]
+
+
+def diff_lru(blocks, config: CacheConfig, name: str = "lru") -> DiffReport:
+    """Diff fastpath kernel and scalar cache against the LRU oracle.
+
+    Compares the three models' per-access hit/miss decisions
+    elementwise and reports the first index where any pair disagrees.
+    """
+    from repro.memsys.cache import SetAssociativeCache
+    from repro.memsys.fastpath import lru_miss_mask
+
+    blocks_list = blocks.tolist() if isinstance(blocks, np.ndarray) else list(blocks)
+    oracle = reference_miss_flags(blocks_list, config.n_sets, config.assoc)
+    scalar_cache = SetAssociativeCache(config)
+    scalar = [not scalar_cache.access(int(b), write=False) for b in blocks_list]
+    fast = lru_miss_mask(
+        np.asarray(blocks_list, dtype=np.uint64), config.set_mask, config.assoc
+    ).tolist()
+    for i, (o, s, f) in enumerate(zip(oracle, scalar, fast)):
+        if o != s or o != f:
+            lo = max(0, i - 8)
+            ring = ", ".join(
+                f"#{j}:{b:#x}" for j, b in enumerate(blocks_list[lo : i + 1], start=lo)
+            )
+            return DiffReport(
+                name=name,
+                n_refs=len(blocks_list),
+                checks=1,
+                divergence=Divergence(
+                    index=i,
+                    detail=(
+                        f"block {blocks_list[i]:#x} set "
+                        f"{blocks_list[i] % config.n_sets}: oracle "
+                        f"{'miss' if o else 'hit'}, scalar "
+                        f"{'miss' if s else 'hit'}, fastpath "
+                        f"{'miss' if f else 'hit'}"
+                    ),
+                    context=f"recent blocks: {ring}",
+                ),
+            )
+    return DiffReport(name=name, n_refs=len(blocks_list), checks=1)
+
+
+def diff_miss_curve(
+    trace,
+    sizes: list[int],
+    kind: str,
+    assoc: int = 4,
+    block: int = 64,
+    warmup_fraction: float = 0.2,
+    name: str = "miss-curve",
+) -> DiffReport:
+    """Diff the full miss-curve sweep against an oracle recount.
+
+    Runs :func:`repro.memsys.multisim.simulate_miss_curve` through
+    *both* replay paths (vectorized and scalar
+    :class:`MultiConfigSimulator`), recounts every point with
+    :class:`OracleLRUCache`, and compares the complete
+    ``(accesses, misses, mpki)`` vector of every point.
+    """
+    from repro.memsys.fastpath import classify_trace
+    from repro.memsys.multisim import simulate_miss_curve
+
+    fast = simulate_miss_curve(
+        trace, sizes, kind=kind, assoc=assoc, block=block,
+        warmup_fraction=warmup_fraction, fastpath=True,
+    )
+    scalar = simulate_miss_curve(
+        trace, sizes, kind=kind, assoc=assoc, block=block,
+        warmup_fraction=warmup_fraction, fastpath=False,
+    )
+    # Oracle recount: same warmup-split accounting, brute-force caches.
+    classified = classify_trace(trace, kind)
+    split = int(len(trace) * warmup_fraction)
+    split_class = classified.class_count_before(split)
+    instr = classified.instructions - classified.instructions_before(split)
+    addrs = classified.addrs.tolist()
+    configs = [CacheConfig(size=s, assoc=assoc, block=block) for s in sizes]
+    oracle_points = []
+    for cfg in configs:
+        cache = OracleLRUCache(cfg.n_sets, cfg.assoc)
+        bits = cfg.block_bits
+        warm_misses = 0
+        for i, addr in enumerate(addrs):
+            if i == split_class:
+                warm_misses = cache.misses
+            cache.access(addr >> bits)
+        if split_class >= len(addrs):
+            warm_misses = cache.misses
+        misses = cache.misses - warm_misses
+        accesses = cache.accesses - split_class
+        mpki = 1000.0 * misses / instr if instr else 0.0
+        oracle_points.append((cfg.size, accesses, misses, mpki))
+    n_refs = len(trace)
+    for i, (f, s, o) in enumerate(zip(fast, scalar, oracle_points)):
+        fv = (f.size, f.accesses, f.misses, f.mpki)
+        sv = (s.size, s.accesses, s.misses, s.mpki)
+        if fv != sv or fv != o:
+            return DiffReport(
+                name=name, n_refs=n_refs, checks=len(sizes),
+                divergence=Divergence(
+                    index=i,
+                    detail=(
+                        f"size {sizes[i]}: fastpath {fv}, scalar {sv}, "
+                        f"oracle {o} (vectors are size/accesses/misses/mpki)"
+                    ),
+                ),
+            )
+    return DiffReport(name=name, n_refs=n_refs, checks=len(sizes))
+
+
+# -- oracle 2: stack-distance recount ---------------------------------------
+
+
+def oracle_stack_histogram(blocks) -> dict[int, int]:
+    """O(n·m) move-to-front LRU stack distance histogram.
+
+    The textbook definition, executed literally: the distance of an
+    access is its block's position in the LRU stack (-1 on first
+    touch), and the block then moves to the top.
+    """
+    if isinstance(blocks, np.ndarray):
+        blocks = blocks.tolist()
+    stack: list[int] = []
+    hist: dict[int, int] = {}
+    for block in blocks:
+        try:
+            depth = stack.index(block)
+        except ValueError:
+            depth = -1
+        else:
+            del stack[depth]
+        stack.insert(0, block)
+        hist[depth] = hist.get(depth, 0) + 1
+    return hist
+
+
+def diff_stackdist(blocks, name: str = "stackdist") -> DiffReport:
+    """Diff profiler histograms (both paths) against the recount."""
+    from repro.memsys.stackdist import StackDistanceProfiler
+
+    blocks_list = blocks.tolist() if isinstance(blocks, np.ndarray) else list(blocks)
+    oracle = oracle_stack_histogram(blocks_list)
+    for fastpath in (True, False):
+        profiler = StackDistanceProfiler()
+        profiler.feed(blocks_list)
+        hist = profiler.histogram(fastpath=fastpath)
+        if hist != oracle:
+            diffs = sorted(
+                d for d in set(hist) | set(oracle)
+                if hist.get(d, 0) != oracle.get(d, 0)
+            )
+            first = diffs[0]
+            path = "fastpath" if fastpath else "scalar"
+            return DiffReport(
+                name=name, n_refs=len(blocks_list), checks=2,
+                divergence=Divergence(
+                    index=first,
+                    detail=(
+                        f"{path} histogram[{first}] = {hist.get(first, 0)}, "
+                        f"oracle recount = {oracle.get(first, 0)} "
+                        f"({len(diffs)} buckets differ)"
+                    ),
+                ),
+            )
+    return DiffReport(name=name, n_refs=len(blocks_list), checks=2)
+
+
+# -- oracle 3: naive MOSI machine -------------------------------------------
+
+
+@dataclass
+class _OracleSet:
+    """One L2 set: LRU order list plus per-block coherence state."""
+
+    order: list[int] = field(default_factory=list)
+    state: dict[int, str] = field(default_factory=dict)
+
+
+class _OracleL2:
+    """One L2 cache array: explicit per-set lists, states as strings."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.n_sets = config.n_sets
+        self.assoc = config.assoc
+        self._sets = [_OracleSet() for _ in range(self.n_sets)]
+
+    def _set(self, block: int) -> _OracleSet:
+        return self._sets[block % self.n_sets]
+
+    def probe(self, block: int) -> str | None:
+        return self._set(block).state.get(block)
+
+    def touch(self, block: int) -> None:
+        s = self._set(block)
+        s.order.remove(block)
+        s.order.append(block)
+
+    def set_state(self, block: int, state: str) -> None:
+        s = self._set(block)
+        s.state[block] = state
+        s.order.remove(block)
+        s.order.append(block)
+
+    def insert(self, block: int, state: str) -> tuple[int, str] | None:
+        """Insert MRU; returns the evicted (block, state) if any."""
+        s = self._set(block)
+        victim = None
+        if block in s.state:
+            s.order.remove(block)
+        elif len(s.order) >= self.assoc:
+            vblock = s.order.pop(0)
+            victim = (vblock, s.state.pop(vblock))
+        s.order.append(block)
+        s.state[block] = state
+        return victim
+
+    def remove(self, block: int) -> str | None:
+        s = self._set(block)
+        if block not in s.state:
+            return None
+        s.order.remove(block)
+        return s.state.pop(block)
+
+    def resident(self) -> list[int]:
+        return [b for s in self._sets for b in s.order]
+
+
+class _OracleL1:
+    """Split L1: plain per-set LRU lists (write-through, no states)."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.n_sets = config.n_sets
+        self.assoc = config.assoc
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+
+    def access(self, block: int) -> bool:
+        lru = self._sets[block % self.n_sets]
+        if block in lru:
+            lru.remove(block)
+            lru.append(block)
+            return True
+        if len(lru) >= self.assoc:
+            lru.pop(0)
+        lru.append(block)
+        return False
+
+    def present(self, block: int) -> bool:
+        return block in self._sets[block % self.n_sets]
+
+    def touch(self, block: int) -> None:
+        lru = self._sets[block % self.n_sets]
+        lru.remove(block)
+        lru.append(block)
+
+    def remove(self, block: int) -> None:
+        lru = self._sets[block % self.n_sets]
+        if block in lru:
+            lru.remove(block)
+
+
+class OracleCoherentMachine:
+    """A naive re-implementation of the full coherent hierarchy.
+
+    Semantics follow the protocol specification (write-through
+    no-allocate L1 data caches, inclusive L2s, MOSI/MESI/MSI snooping
+    with dirty-copy supply) — but every mechanism is the obvious one:
+    snoops *scan every cache* instead of consulting a holders mirror,
+    LRU is an explicit list, and counters are plain dicts keyed by the
+    same field names as :class:`repro.memsys.hierarchy.ProcessorStats`
+    so vectors diff field-for-field.
+    """
+
+    PROC_FIELDS = (
+        "instructions", "ifetches", "loads", "stores",
+        "l1i_accesses", "l1i_misses", "l1d_accesses", "l1d_misses",
+        "l2_hits", "l2_misses", "l2_data_misses", "l2_instr_misses",
+        "l2_load_hits", "l2_load_misses",
+        "c2c_fills", "c2c_load_fills", "mem_fills", "mem_load_fills",
+        "upgrades",
+    )
+    SIDE_FIELDS = (
+        "accesses", "misses", "c2c_fills", "mem_fills", "upgrades",
+        "writebacks", "invalidations_received",
+    )
+    BUS_FIELDS = (
+        "bus_reads", "bus_read_exclusives", "upgrades", "silent_upgrades",
+        "c2c_transfers", "memory_fetches", "writebacks", "invalidations",
+    )
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        protocol: str = "mosi",
+        include_l1: bool = True,
+        track_lines: bool = True,
+    ) -> None:
+        if protocol not in ("mosi", "msi", "mesi"):
+            raise ConfigError(f"unknown protocol {protocol!r}")
+        self.machine = machine
+        self.protocol = protocol
+        self.include_l1 = include_l1
+        self.track_lines = track_lines
+        n = machine.n_procs
+        self._l2_of_cpu = [cpu // machine.procs_per_l2 for cpu in range(n)]
+        self._l1i = [_OracleL1(machine.l1i) for _ in range(n)]
+        self._l1d = [_OracleL1(machine.l1d) for _ in range(n)]
+        self.l2s = [_OracleL2(machine.l2) for _ in range(machine.n_l2_caches)]
+        self._l1i_bits = machine.l1i.block_bits
+        self._l1d_bits = machine.l1d.block_bits
+        self._l2_bits = machine.l2.block_bits
+        self._cluster_cpus = [
+            [cpu for cpu in range(n) if self._l2_of_cpu[cpu] == cid]
+            for cid in range(machine.n_l2_caches)
+        ]
+        self.proc_stats = [dict.fromkeys(self.PROC_FIELDS, 0) for _ in range(n)]
+        self.side_stats = [dict.fromkeys(self.SIDE_FIELDS, 0) for _ in self.l2s]
+        self.bus_stats = dict.fromkeys(self.BUS_FIELDS, 0)
+        self.c2c_by_line: dict[int, int] = {}
+
+    # -- per-reference path ----------------------------------------------
+
+    def access(self, cpu: int, ref: int) -> str:
+        kind = ref & 0x3
+        addr = ref >> 2
+        stats = self.proc_stats[cpu]
+        if kind == IFETCH:
+            stats["ifetches"] += 1
+            stats["instructions"] += INSTRUCTIONS_PER_IFETCH
+            if self.include_l1:
+                stats["l1i_accesses"] += 1
+                if self._l1i[cpu].access(addr >> self._l1i_bits):
+                    return "l1"
+                stats["l1i_misses"] += 1
+            return self._l2_access(cpu, addr, write=False, instr=True)
+        if kind == STORE:
+            # Write-through no-write-allocate L1D: update LRU position
+            # of a present copy, then always go to the L2/bus.
+            stats["stores"] += 1
+            if self.include_l1:
+                l1d = self._l1d[cpu]
+                block = addr >> self._l1d_bits
+                if l1d.present(block):
+                    l1d.touch(block)
+            return self._l2_access(cpu, addr, write=True)
+        stats["loads"] += 1
+        if self.include_l1:
+            stats["l1d_accesses"] += 1
+            if self._l1d[cpu].access(addr >> self._l1d_bits):
+                return "l1"
+            stats["l1d_misses"] += 1
+        return self._l2_access(cpu, addr, write=False)
+
+    def _l2_access(self, cpu: int, addr: int, write: bool, instr: bool = False) -> str:
+        stats = self.proc_stats[cpu]
+        cid = self._l2_of_cpu[cpu]
+        block = addr >> self._l2_bits
+        source = self._bus_write(cid, block) if write else self._bus_read(cid, block)
+        load = not write and not instr
+        if source == "hit":
+            stats["l2_hits"] += 1
+            if load:
+                stats["l2_load_hits"] += 1
+        elif source == "upgrade":
+            stats["upgrades"] += 1
+        elif source == "c2c":
+            stats["l2_misses"] += 1
+            stats["c2c_fills"] += 1
+            if load:
+                stats["c2c_load_fills"] += 1
+        elif source == "mem":
+            stats["l2_misses"] += 1
+            stats["mem_fills"] += 1
+            if load:
+                stats["mem_load_fills"] += 1
+        if source in ("c2c", "mem"):
+            if instr:
+                stats["l2_instr_misses"] += 1
+            else:
+                stats["l2_data_misses"] += 1
+                if load:
+                    stats["l2_load_misses"] += 1
+        return source
+
+    # -- naive snooping bus ----------------------------------------------
+
+    def _bus_read(self, cid: int, block: int) -> str:
+        l2 = self.l2s[cid]
+        side = self.side_stats[cid]
+        side["accesses"] += 1
+        state = l2.probe(block)
+        if state is not None:
+            l2.touch(block)
+            return "hit"
+        side["misses"] += 1
+        self.bus_stats["bus_reads"] += 1
+        source = self._supply(cid, block, exclusive=False)
+        side["c2c_fills" if source == "c2c" else "mem_fills"] += 1
+        state = "S"
+        if self.protocol == "mesi" and not self._holders_of(block):
+            state = "E"
+        self._install(cid, block, state)
+        return source
+
+    def _bus_write(self, cid: int, block: int) -> str:
+        l2 = self.l2s[cid]
+        side = self.side_stats[cid]
+        side["accesses"] += 1
+        state = l2.probe(block)
+        if state == "M":
+            l2.touch(block)
+            return "hit"
+        if state == "E":
+            self.bus_stats["silent_upgrades"] += 1
+            l2.set_state(block, "M")
+            return "hit"
+        if state is not None:
+            self.bus_stats["upgrades"] += 1
+            side["upgrades"] += 1
+            self._invalidate_others(cid, block)
+            l2.set_state(block, "M")
+            return "upgrade"
+        side["misses"] += 1
+        self.bus_stats["bus_read_exclusives"] += 1
+        source = self._supply(cid, block, exclusive=True)
+        side["c2c_fills" if source == "c2c" else "mem_fills"] += 1
+        self._invalidate_others(cid, block)
+        self._install(cid, block, "M")
+        return source
+
+    def _holders_of(self, block: int) -> list[int]:
+        """Snoop by scanning every cache — no mirror to go stale."""
+        return [
+            cid for cid, l2 in enumerate(self.l2s) if l2.probe(block) is not None
+        ]
+
+    def _supply(self, requester: int, block: int, exclusive: bool) -> str:
+        for cid in self._holders_of(block):
+            l2 = self.l2s[cid]
+            state = l2.probe(block)
+            if state == "E" and not exclusive:
+                # Clean sole copy: degrade to SHARED, memory supplies.
+                l2.set_state(block, "S")
+                continue
+            if state in ("M", "O"):
+                self.bus_stats["c2c_transfers"] += 1
+                if self.track_lines:
+                    self.c2c_by_line[block] = self.c2c_by_line.get(block, 0) + 1
+                if not exclusive:
+                    if self.protocol == "mosi":
+                        l2.set_state(block, "O")
+                    else:
+                        # MSI (and MESI): memory takes ownership; the
+                        # copyback doubles as a writeback.
+                        l2.set_state(block, "S")
+                        self.bus_stats["writebacks"] += 1
+                return "c2c"
+        self.bus_stats["memory_fetches"] += 1
+        return "mem"
+
+    def _invalidate_others(self, requester: int, block: int) -> None:
+        for cid in self._holders_of(block):
+            if cid == requester:
+                continue
+            self.l2s[cid].remove(block)
+            self.side_stats[cid]["invalidations_received"] += 1
+            self.bus_stats["invalidations"] += 1
+            self._shoot_down_l1(cid, block)
+
+    def _install(self, cid: int, block: int, state: str) -> None:
+        victim = self.l2s[cid].insert(block, state)
+        if victim is None:
+            return
+        vblock, vstate = victim
+        if vstate in ("M", "O"):
+            self.bus_stats["writebacks"] += 1
+            self.side_stats[cid]["writebacks"] += 1
+        self._shoot_down_l1(cid, vblock)
+
+    def _shoot_down_l1(self, cid: int, block: int) -> None:
+        if not self.include_l1:
+            return
+        base = block << self._l2_bits
+        for cpu in self._cluster_cpus[cid]:
+            for sub in range(1 << (self._l2_bits - self._l1i_bits)):
+                self._l1i[cpu].remove((base >> self._l1i_bits) + sub)
+            for sub in range(1 << (self._l2_bits - self._l1d_bits)):
+                self._l1d[cpu].remove((base >> self._l1d_bits) + sub)
+
+    def reset_stats(self) -> None:
+        """Zero all counters, keeping cache contents warm."""
+        self.proc_stats = [
+            dict.fromkeys(self.PROC_FIELDS, 0) for _ in self.proc_stats
+        ]
+        self.side_stats = [dict.fromkeys(self.SIDE_FIELDS, 0) for _ in self.l2s]
+        self.bus_stats = dict.fromkeys(self.BUS_FIELDS, 0)
+        self.c2c_by_line = {}
+
+
+def compare_counter_vectors(
+    hierarchy: MemoryHierarchy, oracle: OracleCoherentMachine
+) -> str | None:
+    """First mismatching counter between a hierarchy and its oracle.
+
+    Compares every per-CPU :class:`ProcessorStats` field, every per-L2
+    side counter, the bus totals, and (when tracked) the per-line C2C
+    footprint.  Returns a description of the first mismatch, or None.
+    """
+    for cpu, (real, ref) in enumerate(zip(hierarchy.proc_stats, oracle.proc_stats)):
+        for name in OracleCoherentMachine.PROC_FIELDS:
+            got = getattr(real, name)
+            want = ref[name]
+            if got != want:
+                return f"cpu {cpu} {name}: model {got} != oracle {want}"
+    for cid, (real_side, ref_side) in enumerate(
+        zip(hierarchy.bus.cache_stats, oracle.side_stats)
+    ):
+        for name in OracleCoherentMachine.SIDE_FIELDS:
+            got = getattr(real_side, name)
+            want = ref_side[name]
+            if got != want:
+                return f"L2[{cid}] {name}: model {got} != oracle {want}"
+    bus = hierarchy.bus.stats
+    for name in OracleCoherentMachine.BUS_FIELDS:
+        got = getattr(bus, name)
+        want = oracle.bus_stats[name]
+        if got != want:
+            return f"bus {name}: model {got} != oracle {want}"
+    if oracle.track_lines:
+        if dict(bus.c2c_by_line) != oracle.c2c_by_line:
+            lines = set(bus.c2c_by_line) | set(oracle.c2c_by_line)
+            bad = sorted(
+                line for line in lines
+                if bus.c2c_by_line.get(line, 0) != oracle.c2c_by_line.get(line, 0)
+            )[0]
+            return (
+                f"c2c_by_line[{bad:#x}]: model "
+                f"{bus.c2c_by_line.get(bad, 0)} != oracle "
+                f"{oracle.c2c_by_line.get(bad, 0)}"
+            )
+    return None
+
+
+def diff_hierarchy_replay(
+    traces: list,
+    machine: MachineConfig | None = None,
+    protocol: str = "mosi",
+    quantum: int = 64,
+    warmup_fraction: float = 0.0,
+    check_every: int = 4096,
+    name: str = "hierarchy",
+) -> DiffReport:
+    """Replay traces through model and oracle in lockstep and diff them.
+
+    Interleaves per-CPU traces exactly like
+    :meth:`MemoryHierarchy.run_trace` (round-robin quanta, optional
+    warmup discard), compares the two models' fill-source answer for
+    *every reference*, and diffs the full counter vectors every
+    ``check_every`` references and at the end.
+    """
+    if machine is None:
+        machine = e6000_machine(len(traces))
+    if len(traces) != machine.n_procs:
+        raise ConfigError(
+            f"expected {machine.n_procs} traces, got {len(traces)}"
+        )
+    hierarchy = MemoryHierarchy(machine, protocol=protocol)
+    oracle = OracleCoherentMachine(machine, protocol=protocol)
+    traces = [t.tolist() if isinstance(t, np.ndarray) else list(t) for t in traces]
+    total_refs = sum(len(t) for t in traces)
+    ring: deque[tuple[int, int, str, int, str]] = deque(maxlen=24)
+    seen = 0
+    checks = 0
+
+    def ring_text() -> str:
+        lines = ["recent accesses (index cpu kind addr -> model/oracle):"]
+        for i, cpu, kind_name, addr, outcome in ring:
+            lines.append(f"  #{i} cpu{cpu} {kind_name} addr={addr:#x} -> {outcome}")
+        return "\n".join(lines)
+
+    def replay_window(windows: list[list[int]]) -> Divergence | None:
+        nonlocal seen, checks
+        positions = [0] * len(windows)
+        live = [cpu for cpu, t in enumerate(windows) if t]
+        while live:
+            next_live = []
+            for cpu in live:
+                trace = windows[cpu]
+                pos = positions[cpu]
+                end = min(pos + quantum, len(trace))
+                for i in range(pos, end):
+                    ref = trace[i]
+                    got = hierarchy.access(cpu, ref)
+                    want = oracle.access(cpu, ref)
+                    kind_name = _KIND_NAMES.get(ref & 0x3, "?")
+                    ring.append((seen, cpu, kind_name, ref >> 2, f"{got}/{want}"))
+                    seen += 1
+                    if got != want:
+                        return Divergence(
+                            index=seen - 1,
+                            detail=(
+                                f"cpu {cpu} {kind_name} addr={ref >> 2:#x}: "
+                                f"model filled from {got!r}, oracle says "
+                                f"{want!r}"
+                            ),
+                            context=ring_text(),
+                        )
+                    if seen % check_every == 0:
+                        checks += 1
+                        mismatch = compare_counter_vectors(hierarchy, oracle)
+                        if mismatch:
+                            return Divergence(
+                                index=seen - 1, detail=mismatch, context=ring_text()
+                            )
+                positions[cpu] = end
+                if end < len(trace):
+                    next_live.append(cpu)
+            live = next_live
+        return None
+
+    if warmup_fraction > 0.0:
+        warm = [t[: int(len(t) * warmup_fraction)] for t in traces]
+        rest = [t[int(len(t) * warmup_fraction) :] for t in traces]
+        divergence = replay_window(warm)
+        if divergence is not None:
+            return DiffReport(name, total_refs, checks, divergence)
+        hierarchy.reset_stats()
+        oracle.reset_stats()
+        divergence = replay_window(rest)
+    else:
+        divergence = replay_window(traces)
+    if divergence is None:
+        checks += 1
+        mismatch = compare_counter_vectors(hierarchy, oracle)
+        if mismatch:
+            divergence = Divergence(index=seen, detail=mismatch, context=ring_text())
+    return DiffReport(name, total_refs, checks, divergence)
+
+
+# -- figure-configuration coverage ------------------------------------------
+
+
+@dataclass(frozen=True)
+class FigureDiffConfig:
+    """The machine/workload configuration one figure exercises."""
+
+    fig_id: str
+    mode: str                    # "hierarchy" | "miss_curve" | "stackdist"
+    workload: str = "specjbb"
+    scale: int | None = None
+    n_procs: int = 4
+    procs_per_l2: int = 1
+    protocol: str = "mosi"
+    include_os: bool = False
+    with_gc_stream: bool = False
+    kind: str = "data"           # miss_curve reference class
+
+
+#: Reduced-effort simulation the figure diffchecks replay (the oracles
+#: are deliberately naive, so traces stay small).
+DIFF_SIM = SimConfig(seed=1234, refs_per_proc=4_000, warmup_fraction=0.5)
+
+#: Miss-curve sweep sizes small enough that tiny traces still evict.
+DIFF_SWEEP_SIZES = [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
+
+#: One entry per paper figure: every machine configuration the
+#: reproduction publishes numbers for gets differential coverage.
+FIGURE_DIFF_CONFIGS: list[FigureDiffConfig] = [
+    FigureDiffConfig("fig04", "hierarchy", "specjbb", None, n_procs=4),
+    FigureDiffConfig("fig05", "hierarchy", "ecperf", None, n_procs=4),
+    FigureDiffConfig("fig06", "hierarchy", "specjbb", None, n_procs=6),
+    FigureDiffConfig("fig07", "hierarchy", "ecperf", None, n_procs=6),
+    FigureDiffConfig("fig08", "hierarchy", "specjbb", None, n_procs=4, include_os=True),
+    FigureDiffConfig("fig09", "hierarchy", "specjbb", None, n_procs=4),
+    FigureDiffConfig("fig10", "hierarchy", "specjbb", None, n_procs=4,
+                     with_gc_stream=True),
+    FigureDiffConfig("fig11", "stackdist", "specjbb", 8, n_procs=1),
+    FigureDiffConfig("fig12", "miss_curve", "ecperf", 8, n_procs=1, kind="instr"),
+    FigureDiffConfig("fig13", "miss_curve", "specjbb", 1, n_procs=1, kind="data"),
+    FigureDiffConfig("fig14", "hierarchy", "specjbb", None, n_procs=4),
+    FigureDiffConfig("fig15", "hierarchy", "ecperf", None, n_procs=4),
+    FigureDiffConfig("fig16", "hierarchy", "ecperf", None, n_procs=4,
+                     procs_per_l2=2),
+]
+
+
+def _figure_traces(config: FigureDiffConfig, sim: SimConfig) -> list:
+    """Seeded per-CPU traces matching a figure's workload setup."""
+    from repro.figures.common import make_workload, workload_for_procs
+    from repro.jvm.gc import GenerationalCollector
+    from repro.rng import RngFactory
+    from repro.workloads import layout
+    from repro.workloads.base import os_background_trace
+
+    if config.scale is not None:
+        workload = make_workload(config.workload, scale=config.scale)
+    else:
+        workload = workload_for_procs(config.workload, config.n_procs)
+    rng_factory = RngFactory(seed=sim.seed)
+    bundle = workload.generate(config.n_procs, sim, rng_factory)
+    traces = [t.tolist() for t in bundle.per_cpu]
+    if config.with_gc_stream:
+        # Figure 10 replays the collector's private copy traffic.
+        traces[0] = traces[0] + GenerationalCollector.copy_ref_stream(
+            from_base=0x6000_0000, to_base=0x6800_0000, nbytes=64 * 1024
+        )
+    if config.include_os:
+        os_rng = rng_factory.stream("os-background")
+        shared = [layout.NET_BUFFER_POOL + i * 256 for i in range(16)]
+        shared += [layout.RUNQUEUE_BASE + cpu * 64 for cpu in range(config.n_procs)]
+        traces.append(
+            os_background_trace(
+                os_rng, max(1, sim.refs_per_proc // 10), shared
+            )
+        )
+    return traces
+
+
+def run_figure_diffcheck(
+    config: FigureDiffConfig, sim: SimConfig | None = None
+) -> DiffReport:
+    """Run the differential check for one figure configuration."""
+    from repro.memsys.fastpath import block_stream
+
+    sim = sim if sim is not None else DIFF_SIM
+    name = f"{config.fig_id}/{config.mode}"
+    if config.mode == "hierarchy":
+        traces = _figure_traces(config, sim)
+        machine = e6000_machine(len(traces))
+        if config.procs_per_l2 > 1 and len(traces) % config.procs_per_l2 == 0:
+            machine = machine.with_shared_l2(config.procs_per_l2)
+        return diff_hierarchy_replay(
+            traces,
+            machine=machine,
+            protocol=config.protocol,
+            quantum=sim.interleave_quantum,
+            warmup_fraction=sim.warmup_fraction,
+            name=name,
+        )
+    traces = _figure_traces(config, sim)
+    merged = [ref for trace in traces for ref in trace]
+    if config.mode == "miss_curve":
+        return diff_miss_curve(
+            merged, DIFF_SWEEP_SIZES, kind=config.kind,
+            warmup_fraction=sim.warmup_fraction, name=name,
+        )
+    if config.mode == "stackdist":
+        blocks = block_stream(merged, config.kind).tolist()
+        return diff_stackdist(blocks, name=name)
+    raise ConfigError(f"unknown diff mode {config.mode!r}")
+
+
+def run_all_figure_diffchecks(
+    fig_ids: list[str] | None = None, sim: SimConfig | None = None
+) -> list[DiffReport]:
+    """Differentially validate every (or the named) figure configs."""
+    wanted = None if not fig_ids else set(fig_ids)
+    configs = [
+        c for c in FIGURE_DIFF_CONFIGS if wanted is None or c.fig_id in wanted
+    ]
+    if wanted is not None:
+        known = {c.fig_id for c in FIGURE_DIFF_CONFIGS}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown figure ids {unknown}; known: {sorted(known)}"
+            )
+    return [run_figure_diffcheck(config, sim) for config in configs]

@@ -8,6 +8,27 @@ from repro.core.config import SimConfig
 from repro.rng import RngFactory
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the frozen golden reports instead of diffing them",
+    )
+
+
+@pytest.fixture
+def obs_enabled():
+    """Observability on for one test, fully reset afterwards."""
+    from repro import obs
+
+    obs.enable()
+    obs.reset()
+    yield obs
+    obs.disable()
+    obs.reset()
+
+
 @pytest.fixture(autouse=True, scope="session")
 def _hermetic_result_cache(tmp_path_factory):
     """Point the harness result cache at a per-session temp dir.

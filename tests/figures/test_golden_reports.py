@@ -1,0 +1,82 @@
+"""Frozen golden reports for the cheap, deterministic figures.
+
+The figure pipeline is seeded end-to-end, so its stdout is a content
+hash of the whole stack: workload generation, cache replay, coherence
+accounting, table rendering.  These tests freeze the ``--quick`` output
+of the fast figures and diff byte-for-byte — any unintentional change
+anywhere in the pipeline shows up as a golden mismatch.
+
+Intentional changes regenerate the files with::
+
+    pytest tests/figures/test_golden_reports.py --update-goldens
+
+The byte-stability test at the bottom is the observability contract:
+enabling ``--obs`` must not change figure stdout by a single byte
+(summaries go to stderr or files).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+#: Figures cheap enough to regenerate in the suite and whose quick-mode
+#: checks pass (rc 0); the slow/failing-at-quick ones keep their
+#: full-effort reference outputs under benchmark_reports/ instead.
+GOLDEN_FIGURES = ["fig05", "fig09", "fig10", "fig11", "fig12", "fig13"]
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def _golden_path(fig_id: str) -> Path:
+    return GOLDEN_DIR / f"{fig_id}.quick.txt"
+
+
+def _figure_stdout(fig_id: str, capsys, extra: tuple[str, ...] = ()) -> str:
+    rc = main(["figures", fig_id, "--quick", "--no-cache", *extra])
+    assert rc == 0, f"{fig_id} exited {rc}"
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("fig_id", GOLDEN_FIGURES)
+def test_figure_stdout_matches_golden(fig_id, capsys, request):
+    out = _figure_stdout(fig_id, capsys)
+    golden = _golden_path(fig_id)
+    if request.config.getoption("--update-goldens"):
+        golden.parent.mkdir(parents=True, exist_ok=True)
+        golden.write_text(out, encoding="utf-8")
+        pytest.skip(f"golden for {fig_id} rewritten")
+    assert golden.exists(), (
+        f"missing golden {golden}; regenerate with pytest --update-goldens"
+    )
+    expected = golden.read_text(encoding="utf-8")
+    assert out == expected, (
+        f"{fig_id} stdout drifted from its golden; if the change is "
+        f"intentional rerun with --update-goldens"
+    )
+
+
+def test_goldens_contain_figure_headers():
+    for fig_id in GOLDEN_FIGURES:
+        golden = _golden_path(fig_id)
+        assert golden.exists(), f"golden for {fig_id} was never generated"
+        text = golden.read_text(encoding="utf-8")
+        assert f"=== {fig_id}" in text
+        assert "paper:" in text
+
+
+def test_figure_stdout_byte_identical_with_obs(capsys, monkeypatch):
+    """Turning instrumentation on must not perturb figure output."""
+    from repro import obs
+
+    # Pre-seat the env key so monkeypatch restores it after the CLI
+    # writes JMMW_OBS=1 during argument handling.
+    monkeypatch.setenv(obs.OBS_ENV, "0")
+    try:
+        captured_out = _figure_stdout("fig12", capsys, extra=("--obs",))
+    finally:
+        obs.disable()
+        obs.reset()
+    golden = _golden_path("fig12").read_text(encoding="utf-8")
+    assert captured_out == golden

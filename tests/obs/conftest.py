@@ -1,0 +1,24 @@
+"""Observability tests must never leak enablement into other tests."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_hygiene():
+    """Restore the disabled, empty default state after every test."""
+    prev_obs = os.environ.get(obs.OBS_ENV)
+    prev_file = os.environ.get(obs.OBS_FILE_ENV)
+    yield
+    obs.disable()
+    obs.reset()
+    for key, prev in ((obs.OBS_ENV, prev_obs), (obs.OBS_FILE_ENV, prev_file)):
+        if prev is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = prev

@@ -1,0 +1,106 @@
+"""Counter registry: free when off, exact when on."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.counters import CounterRegistry
+
+
+def test_disabled_incr_is_noop():
+    reg = CounterRegistry()
+    reg.incr("memsys/bus/reads", 100)
+    assert reg.snapshot() == {}
+    assert "incr" not in reg.__dict__
+
+
+def test_enable_counts_and_disable_restores():
+    reg = CounterRegistry()
+    reg.enable()
+    reg.incr("a")
+    reg.incr("a", 2)
+    reg.incr("jvm/gc/pause_s", 0.125)
+    assert reg.get("a") == 3
+    assert reg.get("jvm/gc/pause_s") == pytest.approx(0.125)
+    reg.disable()
+    reg.incr("a", 100)
+    assert reg.get("a") == 3
+
+
+def test_drain_clears_and_merge_adds():
+    reg = CounterRegistry()
+    reg.enable()
+    reg.incr("x", 5)
+    counts = reg.drain()
+    assert counts == {"x": 5}
+    assert reg.snapshot() == {}
+    reg.merge(counts)
+    reg.merge({"x": 1, "y": 2.5})
+    assert reg.snapshot() == {"x": 6, "y": 2.5}
+
+
+def test_summary_sorted_by_name():
+    reg = CounterRegistry()
+    reg.merge({"b": 2, "a": 1})
+    assert reg.summary_rows() == [("a", 1), ("b", 2)]
+    assert "no counters" in CounterRegistry().render_summary()
+
+
+def test_write_jsonl(tmp_path):
+    reg = CounterRegistry()
+    reg.merge({"memsys/bus/reads": 7})
+    path = tmp_path / "obs.jsonl"
+    assert reg.write_jsonl(path) == 1
+    record = json.loads(path.read_text())
+    assert record == {"type": "counter", "name": "memsys/bus/reads", "value": 7}
+
+
+# -- the module-level facade -------------------------------------------------
+
+
+def test_facade_enable_disable_roundtrip():
+    assert not obs.enabled()
+    obs.incr("never", 9)
+    assert obs.COUNTERS.get("never") == 0
+    obs.enable()
+    assert obs.enabled()
+    obs.incr("seen", 2)
+    with obs.span("facade"):
+        pass
+    counters, spans = obs.drain_payload()
+    assert counters == {"seen": 2}
+    assert [s["span"] for s in spans] == ["facade"]
+    # Drained: nothing left to ship.
+    assert obs.drain_payload() is None
+    obs.disable()
+    assert obs.drain_payload() is None
+
+
+def test_facade_ingest_none_is_noop():
+    obs.ingest(None)
+    assert obs.COUNTERS.snapshot() == {}
+
+
+def test_facade_render_and_export(tmp_path):
+    obs.enable()
+    obs.incr("c", 1)
+    with obs.span("s"):
+        pass
+    text = obs.render_summary()
+    assert "-- spans --" in text and "-- counters --" in text
+    path = tmp_path / "dump.jsonl"
+    assert obs.export_jsonl(path) == 2
+    types = [json.loads(line)["type"] for line in path.read_text().splitlines()]
+    assert types == ["span", "counter"]
+
+
+def test_env_enabled_parsing(monkeypatch):
+    for value, expected in [
+        ("1", True), ("true", True), ("YES", True), (" on ", True),
+        ("", False), ("0", False), ("off", False),
+    ]:
+        monkeypatch.setenv(obs.OBS_ENV, value)
+        assert obs.env_enabled() is expected
+    monkeypatch.delenv(obs.OBS_ENV)
+    assert obs.env_enabled() is False

@@ -1,0 +1,86 @@
+"""Property-based differential testing: random traces vs the oracles.
+
+Hypothesis drives adversarial inputs at the three oracle layers — raw
+block streams against the LRU kernel and the stack-distance profiler,
+mixed-kind traces against the miss-curve sweep (both replay paths, with
+warmup snapshots), and multi-CPU traces against the full coherent
+hierarchy including shared-L2 (Figure 16 style) configurations.  Any
+counterexample Hypothesis finds shrinks to a minimal diverging trace.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memsys.block import IFETCH, LOAD, STORE, encode_ref
+from repro.memsys.config import CacheConfig, MachineConfig
+from repro.obs.diffcheck import (
+    diff_hierarchy_replay,
+    diff_lru,
+    diff_miss_curve,
+    diff_stackdist,
+)
+
+#: Tiny footprint so a few dozen references already conflict and share.
+TINY_MACHINE = MachineConfig(
+    n_procs=2,
+    l1i=CacheConfig(size=256, assoc=2, block=32, name="L1I"),
+    l1d=CacheConfig(size=256, assoc=2, block=32, name="L1D"),
+    l2=CacheConfig(size=1024, assoc=2, block=64, name="L2"),
+)
+
+blocks_strategy = st.lists(st.integers(0, 31), min_size=1, max_size=120)
+
+refs_strategy = st.lists(
+    st.builds(
+        encode_ref,
+        st.integers(0, 127).map(lambda a: a * 32),
+        st.sampled_from([IFETCH, LOAD, STORE]),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(blocks=blocks_strategy)
+def test_lru_kernel_matches_oracle(blocks):
+    config = CacheConfig(size=512, assoc=2, block=64)  # 4 sets
+    report = diff_lru(blocks, config)
+    assert report.ok, report.render()
+
+
+@settings(max_examples=25, deadline=None)
+@given(blocks=blocks_strategy)
+def test_stackdist_profiler_matches_recount(blocks):
+    report = diff_stackdist(blocks)
+    assert report.ok, report.render()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    trace=refs_strategy,
+    kind=st.sampled_from(["data", "instr"]),
+    warmup=st.sampled_from([0.0, 0.3]),
+)
+def test_miss_curve_both_paths_match_oracle(trace, kind, warmup):
+    report = diff_miss_curve(
+        trace, sizes=[1024, 2048], kind=kind, assoc=2,
+        warmup_fraction=warmup,
+    )
+    assert report.ok, report.render()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    traces=st.lists(refs_strategy, min_size=2, max_size=2),
+    protocol=st.sampled_from(["mosi", "msi", "mesi"]),
+    shared_l2=st.booleans(),
+    warmup=st.sampled_from([0.0, 0.4]),
+    quantum=st.sampled_from([1, 7, 64]),
+)
+def test_hierarchy_matches_oracle(traces, protocol, shared_l2, warmup, quantum):
+    machine = TINY_MACHINE.with_shared_l2(2) if shared_l2 else TINY_MACHINE
+    report = diff_hierarchy_replay(
+        traces, machine=machine, protocol=protocol, quantum=quantum,
+        warmup_fraction=warmup, check_every=64,
+    )
+    assert report.ok, report.render()
