@@ -1,0 +1,71 @@
+"""Trace-plane acceptance bench: replay parity and generate-once win.
+
+Two properties the shared-memory trace plane must hold on a
+miss-curve sweep (the workload shape it was built for — one trace,
+many cache sizes):
+
+1. **Parity** — sharded sweeps produce *identical* points with the
+   plane on, with the plane off, and in a single direct
+   ``simulate_miss_curve`` call;
+2. **Plane win** — generating the trace once and replaying it from
+   shared memory beats regenerating it in every shard by at least
+   1.5x wall time (the plane timing *includes* publishing).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import SimConfig
+from repro.figures.fig12_icache import CACHE_SIZES
+from repro.harness.runner import run_tasks
+from repro.harness.tasks import build_miss_curve_sweep_tasks
+from repro.harness.traceplane import TracePlane, TraceSpec
+from repro.memsys.multisim import simulate_miss_curve
+
+#: Reduced effort: enough trace-generation work that regenerating it
+#: per shard is the dominant cost, small enough to keep the bench fast.
+SIM = SimConfig(seed=1234, refs_per_proc=25_000, warmup_fraction=0.5)
+
+SPEC = TraceSpec(workload="specjbb", scale=8, n_procs=1, sim=SIM)
+
+JOBS = 2
+
+
+def _sweep(plane: TracePlane | None) -> list[tuple[int, int, int, float]]:
+    tasks = build_miss_curve_sweep_tasks(SPEC, CACHE_SIZES, "instr", plane=plane)
+    outcomes = run_tasks(tasks, jobs=JOBS, plane=plane)
+    points: list[tuple[int, int, int, float]] = []
+    for outcome in outcomes:
+        assert outcome.ok, outcome.failure
+        points.extend(outcome.value)
+    return points
+
+
+def test_plane_sweep_beats_cold_sweep_and_matches_serial(tmp_path):
+    t0 = time.perf_counter()
+    cold = _sweep(plane=None)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    plane = TracePlane(root=tmp_path / "traceplane")
+    try:
+        shared = _sweep(plane=plane)
+    finally:
+        plane.close()
+    plane_s = time.perf_counter() - t0
+
+    direct = [
+        (p.size, p.accesses, p.misses, p.mpki)
+        for p in simulate_miss_curve(
+            SPEC.generate().merged(), list(CACHE_SIZES), kind="instr",
+            warmup_fraction=0.5,
+        )
+    ]
+    assert cold == direct
+    assert shared == direct
+
+    assert plane_s < cold_s / 1.5, (
+        f"plane sweep took {plane_s:.2f}s vs cold {cold_s:.2f}s "
+        f"({cold_s / plane_s:.2f}x); expected >= 1.5x"
+    )

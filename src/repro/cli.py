@@ -5,6 +5,7 @@ Subcommands::
     jmmw figures [IDS...] [--quick] [--jobs N] [--no-cache] [--trace P]
                  [--no-fastpath] [--resume] [--fail-fast]
                  [--check-invariants] [--obs [P]]
+                 [--trace-plane | --no-trace-plane]
                                        reproduce paper figures (default all)
     jmmw characterize WORKLOAD [-p N] [--runs R] [--jobs N] ...
                                        one-call workload characterization
@@ -28,6 +29,11 @@ are bit-identical to serial), results are cached on disk keyed by
 config + code version (``--no-cache`` disables), and ``--trace PATH``
 writes a JSONL event trace.  The harness summary table goes to stderr
 so stdout stays byte-stable across serial, parallel and cached runs.
+Sweep traces are generated once per campaign and shared with workers
+through the :mod:`repro.harness.traceplane` shared-memory plane
+(``--no-trace-plane`` / ``JMMW_TRACE_PLANE=0`` reverts to per-task
+generation; output is byte-identical either way), with every segment
+unlinked at campaign end — including interrupted and crashed runs.
 
 Resilience: every campaign journals completed tasks to a manifest as
 they finish, so a run cut down by Ctrl-C, SIGTERM or a crash can be
@@ -73,16 +79,21 @@ def _figure_ids() -> dict[str, str]:
 
 
 def _apply_env_flags(args: argparse.Namespace) -> None:
-    """Apply ``--no-fastpath`` / ``--check-invariants`` / ``--obs``.
+    """Apply ``--no-fastpath`` / ``--check-invariants`` / ``--obs`` /
+    ``--[no-]trace-plane``.
 
     All are selected through the environment so worker processes
     inherit them (regardless of start method), and the cache keys
-    record the fastpath/invariant choices.
+    record the fastpath/invariant/plane choices.
     """
     if getattr(args, "no_fastpath", False):
         from repro.memsys.fastpath import FASTPATH_ENV
 
         os.environ[FASTPATH_ENV] = "0"
+    if getattr(args, "trace_plane", None) is not None:
+        from repro.harness.traceplane import TRACE_PLANE_ENV
+
+        os.environ[TRACE_PLANE_ENV] = "1" if args.trace_plane else "0"
     if getattr(args, "check_invariants", False):
         from repro.memsys.invariants import CHECK_ENV
 
@@ -189,10 +200,17 @@ def cmd_figures(args: argparse.Namespace) -> int:
             return 2
 
     cache, telemetry = _make_harness(args)
+    from repro.harness.traceplane import TracePlane, plane_enabled
+
     modules = [ids[fig_id] for fig_id in wanted]
-    manifest = _open_manifest(args, figures_campaign_signature(modules, sim))
-    tasks = build_figure_tasks(modules, sim)
+    plane = TracePlane() if plane_enabled() else None
+    manifest = _open_manifest(
+        args, figures_campaign_signature(modules, sim, plane=plane is not None)
+    )
     try:
+        tasks = build_figure_tasks(
+            modules, sim, plane=plane, cache=cache, manifest=manifest
+        )
         outcomes = run_tasks(
             tasks,
             jobs=args.jobs,
@@ -201,9 +219,16 @@ def cmd_figures(args: argparse.Namespace) -> int:
             manifest=manifest,
             fail_fast=args.fail_fast,
             interruptible=True,
+            plane=plane,
         )
     except CampaignInterrupted as interrupt:
         return _finish_interrupted(interrupt, manifest, telemetry)
+    finally:
+        # Campaign over (or interrupted): every shared trace segment
+        # and spill file this invocation published is unlinked here,
+        # whatever happened to the workers.
+        if plane is not None:
+            plane.close()
 
     failures = 0
     for fig_id, outcome in zip(wanted, outcomes):
@@ -254,8 +279,14 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         characterize_run_fn,
     )
 
+    from repro.harness.traceplane import TracePlane, plane_enabled
+
     sim = sim if sim is not None else FIGURE_SIM
     cache, telemetry = _make_harness(args)
+    # Replicas perturb their own generation seeds (the variability
+    # methodology), so the plane publishes nothing for them — it rides
+    # along so scheduling and cleanup are uniform across campaigns.
+    plane = TracePlane() if plane_enabled() else None
     manifest = _open_manifest(
         args,
         characterize_campaign_signature(args.workload, args.procs, sim, args.runs),
@@ -277,6 +308,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
             fail_fast=args.fail_fast,
             interruptible=True,
             on_failure=failures.append,
+            plane=plane,
         )
     except CampaignInterrupted as interrupt:
         return _finish_interrupted(interrupt, manifest, telemetry)
@@ -286,6 +318,9 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         telemetry.close()
         manifest.close()
         return 1
+    finally:
+        if plane is not None:
+            plane.close()
     n_ok = next(iter(results.values())).n
     print(
         f"{args.workload} on {args.procs} processors (E6000-style), "
@@ -398,6 +433,12 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
         "--no-fastpath", action="store_true",
         help="use the scalar replay reference instead of the "
         "vectorized fast path (results are bit-identical)",
+    )
+    parser.add_argument(
+        "--trace-plane", action=argparse.BooleanOptionalAction, default=None,
+        help="publish each sweep trace once through shared memory and "
+        "have workers attach instead of regenerating (default on; "
+        "results are bit-identical); same as JMMW_TRACE_PLANE=1/0",
     )
     parser.add_argument(
         "--resume", action="store_true",

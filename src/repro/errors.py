@@ -61,12 +61,36 @@ class AnalysisError(ReproError):
     """An analysis routine received data it cannot interpret."""
 
 
+class TraceFileError(AnalysisError):
+    """A persisted trace file failed validation on load.
+
+    Raised by :func:`repro.memsys.tracefile.load_trace` for anything
+    short of a well-formed archive: a truncated or non-zip file, a
+    missing per-CPU array, a wrong dtype or shape, or a header that
+    does not describe the arrays it shipped with.  Subclasses
+    :class:`AnalysisError` so existing callers that catch the broad
+    type keep working; new callers can catch the precise one.
+    """
+
+
 class HarnessError(ReproError):
     """The experiment harness could not execute a batch of tasks.
 
     Raised for harness-level misuse (duplicate task keys, invalid
     fault policies) — never for an individual task raising, which the
     harness captures as a :class:`repro.harness.TaskFailure` instead.
+    """
+
+
+class TracePlaneError(HarnessError):
+    """The shared-memory trace plane refused an unsafe operation.
+
+    Raised when attaching a :class:`repro.harness.traceplane.TraceRef`
+    that no longer matches reality: the segment was unlinked (campaign
+    ended), the spill file is truncated, or the ref belongs to a
+    different plane *generation* than the segment it points at.  The
+    contract is fail-loud: a stale or damaged ref must never resolve
+    to silently wrong trace data.
     """
 
 

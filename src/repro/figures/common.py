@@ -49,18 +49,29 @@ class FigureResult:
         return "\n".join(parts)
 
 
-def run_figure(module_name: str, sim: SimConfig) -> FigureResult:
+def run_figure(
+    module_name: str, sim: SimConfig, plane_refs: dict | None = None
+) -> FigureResult:
     """Run one figure driver by module name (``"fig04_scaling"``).
 
     Module-level and argument-closed, so it pickles cleanly: this is
     the function the harness ships to worker processes when ``jmmw
     figures --jobs N`` fans figures out in parallel.
+
+    ``plane_refs`` (spec key -> :class:`~repro.harness.traceplane.TraceRef`)
+    are installed for the duration of the run: figure code that fetches
+    traces through :func:`figure_trace` attaches to the published
+    shared-memory segments instead of regenerating.  Results are
+    bit-identical with or without refs.
     """
     import importlib
 
+    from repro.harness import traceplane
+
     module = importlib.import_module(f"repro.figures.{module_name}")
     with _obs.span("figure/run", module=module_name, refs=sim.refs_per_proc):
-        return module.run(sim)
+        with traceplane.use_refs(plane_refs):
+            return module.run(sim)
 
 
 def figure_checks(module_name: str, result: FigureResult) -> list[tuple[str, bool]]:
@@ -99,6 +110,26 @@ def workload_for_procs(name: str, n_procs: int):
     raise ConfigError(f"unknown workload {name!r}")
 
 
+def figure_trace(name: str, scale: int | None, n_procs: int, sim: SimConfig):
+    """One workload trace, from the trace plane when one is attached.
+
+    The shared-memory fast path for sweep figures: when the running
+    task carries a :class:`~repro.harness.traceplane.TraceRef` for
+    this exact (workload, scale, n_procs, sim) spec — published by the
+    campaign's :class:`~repro.harness.traceplane.TracePlane` — the
+    bundle is a zero-copy view of the shared segment.  Otherwise it is
+    generated locally, from the same stateless RNG streams, producing
+    a bit-identical bundle.
+    """
+    from repro.harness.traceplane import TraceSpec, resolve
+
+    spec = TraceSpec(workload=name, scale=scale, n_procs=n_procs, sim=sim)
+    bundle = resolve(spec)
+    if bundle is not None:
+        return bundle
+    return spec.generate()
+
+
 def simulate_multiprocessor(
     workload,
     n_procs: int,
@@ -106,6 +137,7 @@ def simulate_multiprocessor(
     include_os_processor: bool = False,
     procs_per_l2: int = 1,
     protocol: str = "mosi",
+    bundle: TraceBundle | None = None,
 ) -> MemoryHierarchy:
     """Generate traces and run them through an E6000-style machine.
 
@@ -113,12 +145,21 @@ def simulate_multiprocessor(
     processor set runs a light OS stream touching some shared kernel
     lines — the reason the paper sees snoop copybacks even on
     "1-processor" runs (Section 4.3).
+
+    ``bundle`` short-circuits trace generation with an
+    already-materialized bundle for exactly this (workload, n_procs,
+    sim) — the generate-once path Figure 16 uses to replay one trace
+    against several cache-sharing levels.  The caller guarantees the
+    bundle is what ``workload.generate(n_procs, sim, ...)`` would have
+    produced; generation is deterministic, so a plane-published bundle
+    satisfies this by construction.
     """
     rng_factory = RngFactory(seed=sim.seed)
-    with _obs.span(
-        "workload/trace-gen", workload=type(workload).__name__, procs=n_procs
-    ):
-        bundle = workload.generate(n_procs, sim, rng_factory)
+    if bundle is None:
+        with _obs.span(
+            "workload/trace-gen", workload=type(workload).__name__, procs=n_procs
+        ):
+            bundle = workload.generate(n_procs, sim, rng_factory)
     traces = list(bundle.per_cpu)
     total_procs = n_procs
     if include_os_processor:

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from repro.analysis.curves import MissCurve
 from repro.core.config import SimConfig
-from repro.figures.common import FIGURE_SIM, FigureResult, make_workload
+from repro.figures.common import FIGURE_SIM, FigureResult, figure_trace
 from repro.memsys.multisim import simulate_miss_curve
-from repro.rng import RngFactory
 from repro.units import kb, mb
 
 #: The paper's x axis (Figures 12/13).
@@ -28,6 +27,31 @@ CONFIGS = [
 ]
 
 
+def _sweep_sim(sim: SimConfig, scale: int) -> SimConfig:
+    """The per-configuration SimConfig for one sweep trace.
+
+    Larger scale factors need longer traces: the pre-warm sweep must
+    fit inside the warmup window and the measurement window must visit
+    every warehouse enough to reach steady state.
+    """
+    return sim.with_refs(max(sim.refs_per_proc, scale * 24_000))
+
+
+def trace_specs(sim: SimConfig):
+    """The traces this figure replays (shared with Figure 13).
+
+    Published once per campaign by the trace plane; every
+    (instruction *and* data) sweep over a configuration replays the
+    same single-CPU trace.
+    """
+    from repro.harness.traceplane import TraceSpec
+
+    return [
+        TraceSpec(workload=name, scale=scale, n_procs=1, sim=_sweep_sim(sim, scale))
+        for _label, name, scale in CONFIGS
+    ]
+
+
 def curves(
     sim: SimConfig, kind: str, fastpath: bool | None = None
 ) -> dict[str, MissCurve]:
@@ -39,13 +63,8 @@ def curves(
     """
     out = {}
     for label, name, scale in CONFIGS:
-        workload = make_workload(name, scale=scale)
-        # Larger scale factors need longer traces: the pre-warm sweep
-        # must fit inside the warmup window and the measurement window
-        # must visit every warehouse enough to reach steady state.
-        refs = max(sim.refs_per_proc, scale * 24_000)
-        config = sim.with_refs(refs)
-        bundle = workload.generate(1, config, RngFactory(seed=sim.seed))
+        config = _sweep_sim(sim, scale)
+        bundle = figure_trace(name, scale, 1, config)
         points = simulate_miss_curve(
             bundle.merged(),
             CACHE_SIZES,

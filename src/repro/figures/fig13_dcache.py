@@ -11,7 +11,11 @@ from __future__ import annotations
 
 from repro.core.config import SimConfig
 from repro.figures.common import FIGURE_SIM, FigureResult
-from repro.figures.fig12_icache import curves
+
+# trace_specs is re-exported so the trace plane publishes the same
+# shared traces for fig13 as for fig12 (same single-CPU streams, data
+# side instead of instruction side — one generation serves both).
+from repro.figures.fig12_icache import curves, trace_specs  # noqa: F401
 
 
 def run(sim: SimConfig | None = None, fastpath: bool | None = None) -> FigureResult:

@@ -12,7 +12,13 @@ This is the paper's headline design-divergence result.
 from __future__ import annotations
 
 from repro.core.config import SimConfig
-from repro.figures.common import FIGURE_SIM, FigureResult, make_workload, simulate_multiprocessor
+from repro.figures.common import (
+    FIGURE_SIM,
+    FigureResult,
+    figure_trace,
+    make_workload,
+    simulate_multiprocessor,
+)
 
 N_PROCS = 8
 SHARING = [1, 2, 4, 8]
@@ -23,6 +29,20 @@ CONFIGS = [
 ]
 
 
+def trace_specs(sim: SimConfig):
+    """The traces this figure replays: one 8-CPU bundle per workload.
+
+    All four cache-sharing levels replay the *same* trace — the
+    generate-once/replay-many case the trace plane exists for.
+    """
+    from repro.harness.traceplane import TraceSpec
+
+    return [
+        TraceSpec(workload=name, scale=scale, n_procs=N_PROCS, sim=sim)
+        for _label, name, scale in CONFIGS
+    ]
+
+
 def run(sim: SimConfig | None = None) -> FigureResult:
     """Reproduce Figure 16."""
     sim = sim if sim is not None else FIGURE_SIM
@@ -30,10 +50,11 @@ def run(sim: SimConfig | None = None) -> FigureResult:
     series = {}
     for label, name, scale in CONFIGS:
         points = []
+        workload = make_workload(name, scale=scale)
+        bundle = figure_trace(name, scale, N_PROCS, sim)
         for procs_per_l2 in SHARING:
-            workload = make_workload(name, scale=scale)
             hierarchy = simulate_multiprocessor(
-                workload, N_PROCS, sim, procs_per_l2=procs_per_l2
+                workload, N_PROCS, sim, procs_per_l2=procs_per_l2, bundle=bundle
             )
             mpki = hierarchy.data_mpki()
             rows.append(

@@ -17,7 +17,12 @@ The execution layer under every sweep, figure and multi-run experiment:
 - :mod:`repro.harness.chaos` — test-only deterministic fault injection
   (worker crashes, hangs, corrupt cache entries);
 - :mod:`repro.harness.tasks` — the picklable task functions the CLI
-  and experiment layer fan out.
+  and experiment layer fan out;
+- :mod:`repro.harness.traceplane` — generate-once/replay-many trace
+  sharing over POSIX shared memory: the campaign parent publishes each
+  trace bundle once, workers attach by :class:`TraceRef`, and every
+  segment is unlinked at campaign end (crash-safe via an fsynced
+  ledger swept on the next campaign start).
 
 Quickstart::
 
@@ -46,6 +51,13 @@ from repro.harness.faults import (
 )
 from repro.harness.runner import Task, TaskOutcome, run_tasks
 from repro.harness.telemetry import Telemetry, iter_trace, read_trace
+from repro.harness.traceplane import (
+    TracePlane,
+    TraceRef,
+    TraceSpec,
+    plane_enabled,
+    sweep_stale,
+)
 
 __all__ = [
     "ResultCache",
@@ -66,4 +78,9 @@ __all__ = [
     "Telemetry",
     "iter_trace",
     "read_trace",
+    "TracePlane",
+    "TraceRef",
+    "TraceSpec",
+    "plane_enabled",
+    "sweep_stale",
 ]

@@ -234,6 +234,19 @@ class ResultCache:
             if entry.parent.name != QUARANTINE_DIR:
                 yield entry
 
+    def probably_has(self, key: str) -> bool:
+        """Cheap existence hint: an entry file is present for ``key``.
+
+        Does **not** verify the checksum (that costs a full read), so a
+        True may still turn into a miss-with-quarantine at
+        :meth:`get` time.  Used by task builders to skip expensive
+        preparation (e.g. publishing traces to the shared-memory
+        plane) for work that will almost certainly be served from
+        cache; a wrong hint costs only the skipped optimization, never
+        correctness.
+        """
+        return self._path(key).exists()
+
     def __contains__(self, key: str) -> bool:
         return self._load(key) is not _MISS
 

@@ -56,6 +56,31 @@ def crash_task(root: str, name: str, value: Any, crash_attempts: int = 1) -> Any
     return value
 
 
+def crash_while_attached(
+    root: str, name: str, value: Any, ref=None, crash_attempts: int = 1
+) -> Any:
+    """Attach to a published trace, then die holding the mapping.
+
+    The nastiest trace-plane failure mode: a worker is SIGKILL-hard
+    dead (``os._exit`` skips every ``atexit``/``finally``) *while its
+    shared-memory mapping is live*.  The parent must still be able to
+    unlink the segment at campaign end — ownership never transferred —
+    and a respawned worker must be able to re-attach and finish the
+    task.  Touches the data before dying so the mapping is genuinely
+    faulted in, not just reserved.
+    """
+    if ref is not None:
+        from repro.harness import traceplane
+
+        bundle = traceplane.attach(ref)
+        checksum = int(sum(int(t[:16].sum()) for t in bundle.per_cpu if t.size))
+    else:
+        checksum = 0
+    if take_ticket(root, name) < crash_attempts:
+        os._exit(23)
+    return (value, checksum)
+
+
 def hang_task(
     root: str, name: str, value: Any, hang_s: float = 60.0, hang_attempts: int = 1
 ) -> Any:

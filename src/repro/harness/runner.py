@@ -70,7 +70,12 @@ class Task:
     ``key`` must be unique within a batch; it names the task in
     telemetry and indexes its outcome.  ``cache_key`` (from
     :func:`~repro.harness.cache.content_key`) opts the task into result
-    caching; ``None`` means always recompute.
+    caching; ``None`` means always recompute.  ``plane_keys`` lists the
+    trace-plane spec keys this task replays (see
+    :mod:`repro.harness.traceplane`): the runner retains them while the
+    task is pending and releases them at its final outcome, so a
+    shared-memory trace segment is unlinked the moment its last
+    consumer completes.
     """
 
     key: str
@@ -78,6 +83,7 @@ class Task:
     args: tuple = ()
     kwargs: Mapping[str, Any] = field(default_factory=dict)
     cache_key: str | None = None
+    plane_keys: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -185,6 +191,11 @@ def _worker_main(conn: connection.Connection) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic platforms
         pass
+    # A fork-started worker inherits whatever the parent had already
+    # recorded (e.g. trace-plane publish counters); drop it, or the
+    # first task's drain would ship the parent's numbers back and
+    # double-count them.
+    obs.reset()
     while True:
         try:
             message = conn.recv()
@@ -327,6 +338,7 @@ def run_tasks(
     manifest: "CampaignManifest | None" = None,
     fail_fast: bool = False,
     interruptible: bool = False,
+    plane: "Any | None" = None,
 ) -> list[TaskOutcome]:
     """Execute a batch of tasks; outcomes are returned in task order.
 
@@ -342,6 +354,15 @@ def run_tasks(
     telemetry) without recomputing them.  ``fail_fast`` stops
     dispatching after the first ultimate failure; not-yet-started
     tasks fail with ``KIND_ABORTED``.
+
+    ``plane`` is a :class:`repro.harness.traceplane.TracePlane`: each
+    pending task's ``plane_keys`` are retained up front and released
+    when the task reaches its final outcome (success, failure or
+    abort), unlinking shared trace segments as their consumers drain.
+    Tasks served from cache or manifest never retain — their traces
+    are not replayed.  A drained interrupt leaves retained keys to
+    :meth:`TracePlane.close`, which the campaign owner runs either
+    way.
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
     faults = faults if faults is not None else FaultPolicy()
@@ -377,6 +398,17 @@ def run_tasks(
             "cache/quarantined", entries=cache.quarantined - quarantined_before
         )
 
+    if plane is not None:
+        for task in pending:
+            if task.plane_keys:
+                plane.retain(task.plane_keys)
+        if plane.refs:
+            telemetry.emit(
+                "run/trace-plane",
+                segments=len(plane.refs),
+                bytes=plane.bytes_shared,
+            )
+
     def record(task: Task, outcome: TaskOutcome) -> None:
         """Persist one final outcome the moment it exists."""
         outcomes[task.key] = outcome
@@ -389,6 +421,8 @@ def run_tasks(
             cache.put(task.cache_key, outcome.value)
         if manifest is not None:
             manifest.record(task.key, outcome)
+        if plane is not None and task.plane_keys:
+            plane.release(task.plane_keys)
 
     effective_jobs = max(1, int(jobs))
     if effective_jobs > 1 and pending:

@@ -2,24 +2,40 @@
 
 Process pools ship tasks to workers by pickling ``(fn, args)``, which
 rules out closures — so the standard units of work (run a figure,
-characterize one replica of a workload) live here as module-level
-functions, together with the builders that wrap them into
+characterize one replica of a workload, replay one shard of a
+miss-curve sweep) live here as module-level functions, together with
+the builders that wrap them into
 :class:`~repro.harness.runner.Task` batches with content-addressed
 cache keys.
+
+Builders take an optional
+:class:`~repro.harness.traceplane.TracePlane`: with one, the traces a
+batch replays are generated **once** in the parent and published as
+shared-memory segments, each task carries only the tiny
+:class:`~repro.harness.traceplane.TraceRef` handles it needs
+(``plane_refs``), and the runner refcounts segment lifetime through
+``Task.plane_keys``.  Without one, every task regenerates its traces —
+bit-identical results either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
 from functools import partial
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import SimConfig
 from repro.harness.cache import content_key
 from repro.harness.runner import Task
 from repro.rng import RngFactory
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.traceplane import TracePlane, TraceRef, TraceSpec
 
-def figure_cache_key(module_name: str, sim: SimConfig) -> str:
+
+def figure_cache_key(
+    module_name: str, sim: SimConfig, plane: bool = False
+) -> str:
     """Cache key for one figure at one simulation effort.
 
     The key records which replay path (vectorized or scalar) is
@@ -27,7 +43,10 @@ def figure_cache_key(module_name: str, sim: SimConfig) -> str:
     as distinct cache entries means a parity regression can never hide
     behind a stale cached result from the other path.  It also records
     whether invariant checking is on: a checked run must not serve an
-    unchecked cached result, or the checking is silently skipped.
+    unchecked cached result, or the checking is silently skipped.  The
+    trace plane is recorded for the same reason — plane-on and
+    plane-off results are bit-identical by contract, and distinct
+    cache entries keep a parity bug from hiding behind the cache.
     """
     from repro.memsys.fastpath import fastpath_enabled
     from repro.memsys.invariants import checking_enabled
@@ -38,22 +57,174 @@ def figure_cache_key(module_name: str, sim: SimConfig) -> str:
         sim=sim,
         fastpath=fastpath_enabled(),
         checked=checking_enabled(),
+        plane=bool(plane),
     )
 
 
-def build_figure_tasks(module_names: list[str], sim: SimConfig) -> list[Task]:
-    """One harness task per figure module, keyed by figure id."""
+def figure_trace_specs(module_name: str, sim: SimConfig) -> "list[TraceSpec]":
+    """The traces one figure module replays, as plane-publishable specs.
+
+    Figure modules opt in by exposing ``trace_specs(sim)``; modules
+    without it (analytic figures, figures whose traces are unique per
+    point) return an empty list and run exactly as before.
+    """
+    import importlib
+
+    module = importlib.import_module(f"repro.figures.{module_name}")
+    spec_fn = getattr(module, "trace_specs", None)
+    return list(spec_fn(sim)) if spec_fn is not None else []
+
+
+def build_figure_tasks(
+    module_names: list[str],
+    sim: SimConfig,
+    plane: "TracePlane | None" = None,
+    cache=None,
+    manifest=None,
+) -> list[Task]:
+    """One harness task per figure module, keyed by figure id.
+
+    With a ``plane``, each figure's declared traces are published once
+    here in the parent and the task ships only their refs; figures
+    with no declared traces are untouched.  ``cache``/``manifest``
+    (when given) let the builder skip publishing for figures that will
+    be served back without running — a warm rerun must not pay trace
+    generation.  The hint is advisory: a task that runs after all
+    (quarantined entry, torn journal) simply finds no refs installed
+    and regenerates its traces, bit-identically.
+    """
     from repro.figures.common import run_figure
 
-    return [
-        Task(
-            key=name.split("_", 1)[0],
-            fn=run_figure,
-            args=(name, sim),
-            cache_key=figure_cache_key(name, sim),
+    tasks = []
+    for name in module_names:
+        key = name.split("_", 1)[0]
+        cache_key = figure_cache_key(name, sim, plane=plane is not None)
+        kwargs = {}
+        plane_keys: tuple = ()
+        will_run = True
+        if manifest is not None and key in manifest.completed:
+            will_run = False
+        elif cache is not None and cache.probably_has(cache_key):
+            will_run = False
+        if plane is not None and will_run:
+            refs = plane.refs_for(figure_trace_specs(name, sim))
+            if refs:
+                kwargs["plane_refs"] = refs
+                plane_keys = tuple(refs)
+        tasks.append(
+            Task(
+                key=key,
+                fn=run_figure,
+                args=(name, sim),
+                kwargs=kwargs,
+                cache_key=cache_key,
+                plane_keys=plane_keys,
+            )
         )
-        for name in module_names
-    ]
+    return tasks
+
+
+def miss_curve_shard(
+    spec: "TraceSpec",
+    sizes: Sequence[int],
+    kind: str,
+    assoc: int = 4,
+    block: int = 64,
+    warmup_fraction: float = 0.5,
+    plane_refs: "dict[str, TraceRef] | None" = None,
+) -> list[tuple[int, int, int, float]]:
+    """Replay one shard (a subset of cache sizes) of a miss-curve sweep.
+
+    The trace comes from the plane when a ref for ``spec`` is
+    attached, and is regenerated locally otherwise — the simulated
+    points are identical either way, because generation is a pure
+    function of the spec.  Returns plain ``(size, accesses, misses,
+    mpki)`` tuples so the result pickles small.
+    """
+    from repro.harness import traceplane
+    from repro.memsys.multisim import simulate_miss_curve
+
+    with traceplane.use_refs(plane_refs):
+        bundle = traceplane.resolve(spec)
+        if bundle is None:
+            bundle = spec.generate()
+        points = simulate_miss_curve(
+            bundle.merged(),
+            list(sizes),
+            kind=kind,
+            assoc=assoc,
+            block=block,
+            warmup_fraction=warmup_fraction,
+        )
+    return [(p.size, p.accesses, p.misses, p.mpki) for p in points]
+
+
+def build_miss_curve_sweep_tasks(
+    spec: "TraceSpec",
+    sizes: Sequence[int],
+    kind: str,
+    *,
+    shards: int | None = None,
+    plane: "TracePlane | None" = None,
+    assoc: int = 4,
+    block: int = 64,
+    warmup_fraction: float = 0.5,
+    cacheable: bool = False,
+) -> list[Task]:
+    """A generate-once/replay-many miss-curve sweep over one trace.
+
+    The sweep's sizes are split into ``shards`` contiguous chunks
+    (default: one task per size), each an independent harness task;
+    concatenating the shard results in task order reproduces the
+    single-call :func:`repro.memsys.multisim.simulate_miss_curve`
+    points exactly, because each size's simulation is independent and
+    the warmup split depends only on the trace.
+    """
+    sizes = list(sizes)
+    shards = len(sizes) if shards is None else max(1, min(shards, len(sizes)))
+    chunks: list[list[int]] = [[] for _ in range(shards)]
+    base, extra = divmod(len(sizes), shards)
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        chunks[index] = sizes[start:stop]
+        start = stop
+    kwargs: dict = {}
+    plane_keys: tuple = ()
+    if plane is not None:
+        refs = plane.refs_for([spec])
+        kwargs["plane_refs"] = refs
+        plane_keys = tuple(refs)
+    tasks = []
+    for index, chunk in enumerate(chunks):
+        cache_key = None
+        if cacheable:
+            cache_key = content_key(
+                kind="miss-curve-shard",
+                spec=spec.key(),
+                sizes=chunk,
+                curve=kind,
+                assoc=assoc,
+                block=block,
+                warmup_fraction=warmup_fraction,
+                plane=plane is not None,
+            )
+        tasks.append(
+            Task(
+                key=f"sweep/{kind}/shard{index}",
+                fn=miss_curve_shard,
+                args=(spec, chunk, kind),
+                kwargs=dict(
+                    assoc=assoc,
+                    block=block,
+                    warmup_fraction=warmup_fraction,
+                    **kwargs,
+                ),
+                cache_key=cache_key,
+                plane_keys=plane_keys,
+            )
+        )
+    return tasks
 
 
 def characterize_replica(
@@ -65,6 +236,12 @@ def characterize_replica(
     ``run_index``), which re-seeds the simulation through a drawn
     sub-seed — the Alameldeen–Wood discipline.  Deterministic given
     ``(sim.seed, run_index)`` regardless of which process runs it.
+
+    Replicas deliberately share **no** traces through the plane: the
+    variability methodology requires each replica to perturb its own
+    generation seed, so there is nothing to generate once.  Campaigns
+    still pass the plane to ``run_tasks`` for uniform scheduling and
+    cleanup.
     """
     from repro.core.characterize import characterize
 
@@ -109,7 +286,9 @@ def characterize_cache_key(
 # to resume, which is what makes resumed results bit-identical.
 
 
-def figures_campaign_signature(module_names: list[str], sim: SimConfig) -> str:
+def figures_campaign_signature(
+    module_names: list[str], sim: SimConfig, plane: bool = False
+) -> str:
     """Signature of one ``jmmw figures`` campaign."""
     from repro.memsys.fastpath import fastpath_enabled
     from repro.memsys.invariants import checking_enabled
@@ -120,6 +299,7 @@ def figures_campaign_signature(module_names: list[str], sim: SimConfig) -> str:
         sim=sim,
         fastpath=fastpath_enabled(),
         checked=checking_enabled(),
+        plane=bool(plane),
     )
 
 

@@ -225,6 +225,36 @@ def _stage_harness(sim: SimConfig, warm: bool) -> Callable[[], None]:
     return run
 
 
+def _stage_sweep(sim: SimConfig, plane_on: bool) -> Callable[[], None]:
+    """A sharded miss-curve sweep, with and without the trace plane.
+
+    One task per cache size, two workers.  The cold variant makes each
+    shard regenerate the trace; the plane variant generates it once and
+    publishes it as shared memory (publish happens inside the timed
+    region — the generate-once cost is part of what the plane buys).
+    The pair quantifies the generate-once/replay-many win.
+    """
+    from repro.figures.fig12_icache import CACHE_SIZES
+    from repro.harness.runner import run_tasks
+    from repro.harness.tasks import build_miss_curve_sweep_tasks
+    from repro.harness.traceplane import TracePlane, TraceSpec
+
+    spec = TraceSpec(workload="specjbb", scale=8, n_procs=1, sim=sim)
+
+    def run() -> None:
+        plane = TracePlane() if plane_on else None
+        try:
+            tasks = build_miss_curve_sweep_tasks(
+                spec, CACHE_SIZES, "instr", plane=plane
+            )
+            run_tasks(tasks, jobs=2, plane=plane)
+        finally:
+            if plane is not None:
+                plane.close()
+
+    return run
+
+
 #: The declared suite: (stage name, factory(sim) -> timed callable).
 SUITE: list[tuple[str, Callable[[SimConfig], Callable[[], None]]]] = [
     ("fastpath/lru_miss_mask", _stage_lru_kernel),
@@ -236,6 +266,8 @@ SUITE: list[tuple[str, Callable[[SimConfig], Callable[[], None]]]] = [
     ("figures/fig16", lambda sim: _stage_figure("fig16_sharedcache", sim)),
     ("harness/cold_cache", lambda sim: _stage_harness(sim, warm=False)),
     ("harness/warm_cache", lambda sim: _stage_harness(sim, warm=True)),
+    ("harness/sweep_cold", lambda sim: _stage_sweep(sim, plane_on=False)),
+    ("harness/sweep_plane", lambda sim: _stage_sweep(sim, plane_on=True)),
 ]
 
 

@@ -20,7 +20,12 @@ counter vectors**, not just miss totals:
   per-L2 side counter, the bus totals and the per-line C2C footprint;
 - :func:`oracle_stack_histogram` — an O(n·m) move-to-front stack
   distance recount diffed against
-  :class:`repro.memsys.stackdist.StackDistanceProfiler` (both paths).
+  :class:`repro.memsys.stackdist.StackDistanceProfiler` (both paths);
+- :class:`OracleStoreBuffer` — a store buffer that rescans its whole
+  issue history on every store (no deque, no lazy popping), diffed
+  per-issue against :class:`repro.memsys.storebuffer.StoreBuffer`;
+- :class:`OracleTlb` — a list-based fully-associative LRU TLB, diffed
+  per-access against :class:`repro.memsys.tlb.Tlb`.
 
 A divergence is reported with *first-divergence context*: the
 reference index, CPU, kind and address where the models first
@@ -769,6 +774,184 @@ def diff_hierarchy_replay(
         if mismatch:
             divergence = Divergence(index=seen, detail=mismatch, context=ring_text())
     return DiffReport(name, total_refs, checks, divergence)
+
+
+# -- oracle 4: store-buffer history rescan -----------------------------------
+
+
+class OracleStoreBuffer:
+    """Store buffer semantics executed from the specification, slowly.
+
+    Keeps the *entire* drain history as a plain list and rescans it on
+    every issue: the buffer is full when ``depth`` drains are still
+    pending, and a full buffer stalls the store until the oldest
+    pending drain completes.  Drains are serialized — each starts when
+    the previous one finishes.  An entry leaves the buffer the moment
+    the buffer has *advanced* past its completion — a stalled store
+    enters at ``now + stall``, so everything completed by then is gone
+    for good, even for a later issue at an earlier ``now`` (the
+    ``_drained_until`` clock).  No deque, no lazy popping, no shared
+    code with :class:`repro.memsys.storebuffer.StoreBuffer`.
+
+    Issue times must be nondecreasing (stores come from a program
+    order), matching the production model's use.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ConfigError("depth must be positive")
+        self.depth = depth
+        self.stores = 0
+        self.stall_cycles = 0
+        self.stalled_stores = 0
+        self._done_times: list[int] = []
+        self._drained_until = 0
+
+    def issue(self, now: int, drain_latency: int) -> int:
+        if drain_latency <= 0:
+            raise ConfigError("drain_latency must be positive")
+        self.stores += 1
+        self._drained_until = max(self._drained_until, now)
+        pending = [d for d in self._done_times if d > self._drained_until]
+        stall = 0
+        if len(pending) >= self.depth:
+            stall = min(pending) - now
+            self.stall_cycles += stall
+            self.stalled_stores += 1
+            self._drained_until = now + stall
+        start = now + stall
+        if self._done_times:
+            start = max(start, self._done_times[-1])
+        self._done_times.append(start + drain_latency)
+        return stall
+
+
+def diff_store_buffer(
+    events: list[tuple[int, int]], depth: int, name: str = "storebuffer"
+) -> DiffReport:
+    """Replay ``(now, drain_latency)`` issues through model and oracle.
+
+    Issue times must be nondecreasing.  Compares the returned stall of
+    every issue as it happens, then the final counter vector
+    (``stores``, ``stall_cycles``, ``stalled_stores``).
+    """
+    from repro.memsys.storebuffer import StoreBuffer
+
+    model = StoreBuffer(depth=depth)
+    oracle = OracleStoreBuffer(depth=depth)
+    ring: deque[str] = deque(maxlen=12)
+    for i, (now, latency) in enumerate(events):
+        got = model.issue(now, latency)
+        want = oracle.issue(now, latency)
+        ring.append(f"  #{i} now={now} latency={latency} -> {got}/{want}")
+        if got != want:
+            return DiffReport(
+                name=name, n_refs=len(events), checks=i + 1,
+                divergence=Divergence(
+                    index=i,
+                    detail=(
+                        f"issue(now={now}, drain_latency={latency}): model "
+                        f"stalled {got} cycles, oracle says {want}"
+                    ),
+                    context="recent issues (model/oracle stall):\n"
+                    + "\n".join(ring),
+                ),
+            )
+    for field_name in ("stores", "stall_cycles", "stalled_stores"):
+        got = getattr(model, field_name)
+        want = getattr(oracle, field_name)
+        if got != want:
+            return DiffReport(
+                name=name, n_refs=len(events), checks=len(events) + 1,
+                divergence=Divergence(
+                    index=len(events),
+                    detail=f"{field_name}: model {got} != oracle {want}",
+                ),
+            )
+    return DiffReport(name=name, n_refs=len(events), checks=len(events) + 1)
+
+
+# -- oracle 5: list-based TLB ------------------------------------------------
+
+
+class OracleTlb:
+    """Fully-associative LRU TLB, the obvious way.
+
+    One Python list of resident pages, MRU at the tail; pages come
+    from integer division by the page size.  No dict-ordering tricks,
+    no shared code with :class:`repro.memsys.tlb.Tlb`.
+    """
+
+    def __init__(self, entries: int, page_size: int) -> None:
+        if entries <= 0:
+            raise ConfigError("entries must be positive")
+        if page_size <= 0:
+            raise ConfigError("page_size must be positive")
+        self.entries = entries
+        self.page_size = page_size
+        self.accesses = 0
+        self.misses = 0
+        self._lru: list[int] = []
+
+    def access(self, addr: int) -> bool:
+        page = addr // self.page_size
+        self.accesses += 1
+        if page in self._lru:
+            self._lru.remove(page)
+            self._lru.append(page)
+            return True
+        self.misses += 1
+        if len(self._lru) >= self.entries:
+            self._lru.pop(0)
+        self._lru.append(page)
+        return False
+
+
+def diff_tlb(
+    addrs, entries: int, page_size: int, name: str = "tlb"
+) -> DiffReport:
+    """Replay byte addresses through model TLB and oracle in lockstep.
+
+    Compares every access's hit/miss decision as it happens, then the
+    final ``accesses``/``misses`` counters.  ``page_size`` must be a
+    power of two (the production model shifts; the oracle divides).
+    """
+    from repro.memsys.tlb import Tlb
+
+    addrs = addrs.tolist() if isinstance(addrs, np.ndarray) else list(addrs)
+    model = Tlb(entries=entries, page_size=page_size)
+    oracle = OracleTlb(entries=entries, page_size=page_size)
+    ring: deque[str] = deque(maxlen=12)
+    for i, addr in enumerate(addrs):
+        got = model.access(int(addr))
+        want = oracle.access(int(addr))
+        outcome = f"{'hit' if got else 'miss'}/{'hit' if want else 'miss'}"
+        ring.append(f"  #{i} addr={int(addr):#x} page={int(addr) // page_size:#x} -> {outcome}")
+        if got != want:
+            return DiffReport(
+                name=name, n_refs=len(addrs), checks=i + 1,
+                divergence=Divergence(
+                    index=i,
+                    detail=(
+                        f"addr {int(addr):#x} (page {int(addr) // page_size:#x}): "
+                        f"model {'hit' if got else 'miss'}, oracle "
+                        f"{'hit' if want else 'miss'}"
+                    ),
+                    context="recent accesses (model/oracle):\n" + "\n".join(ring),
+                ),
+            )
+    for field_name in ("accesses", "misses"):
+        got = getattr(model, field_name)
+        want = getattr(oracle, field_name)
+        if got != want:
+            return DiffReport(
+                name=name, n_refs=len(addrs), checks=len(addrs) + 1,
+                divergence=Divergence(
+                    index=len(addrs),
+                    detail=f"{field_name}: model {got} != oracle {want}",
+                ),
+            )
+    return DiffReport(name=name, n_refs=len(addrs), checks=len(addrs) + 1)
 
 
 # -- figure-configuration coverage ------------------------------------------

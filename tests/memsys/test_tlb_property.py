@@ -1,0 +1,73 @@
+"""Tlb vs. the list-based LRU oracle, under random address streams.
+
+The production TLB keeps residency as an insertion-ordered dict and
+refreshes LRU position by delete + reinsert; the oracle in
+:mod:`repro.obs.diffcheck` keeps an explicit list and divides instead
+of shifting.  Hypothesis drives both with random byte-address streams
+across entry counts and (power-of-two) page sizes and compares every
+per-access hit/miss decision plus the final counters.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.memsys.tlb import Tlb
+from repro.obs.diffcheck import OracleTlb, diff_tlb
+
+import pytest
+
+ADDRS = st.lists(st.integers(0, 2**24 - 1), min_size=1, max_size=400)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    addrs=ADDRS,
+    entries=st.integers(1, 16),
+    page_bits=st.integers(6, 14),
+)
+def test_tlb_matches_oracle(addrs, entries, page_bits):
+    report = diff_tlb(addrs, entries=entries, page_size=1 << page_bits)
+    assert report.ok, report.render()
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    addrs=ADDRS,
+    entries=st.integers(1, 16),
+    page_bits=st.integers(6, 14),
+)
+def test_tlb_invariants(addrs, entries, page_bits):
+    page_size = 1 << page_bits
+    tlb = Tlb(entries=entries, page_size=page_size)
+    pages_touched: set[int] = set()
+    for addr in addrs:
+        page = addr >> page_bits
+        hit = tlb.access(addr)
+        if page not in pages_touched:
+            assert not hit  # first touch of a page can never hit
+        pages_touched.add(page)
+        assert len(tlb._pages) <= entries  # residency bounded by capacity
+    assert tlb.misses <= tlb.accesses == len(addrs)
+    assert tlb.misses >= len(pages_touched) and tlb.misses >= 1
+    assert tlb.reach == entries * page_size
+
+
+@settings(max_examples=40, deadline=None)
+@given(addrs=ADDRS, page_bits=st.integers(6, 14))
+def test_tlb_with_enough_entries_misses_once_per_page(addrs, page_bits):
+    """With capacity for every page, only compulsory misses remain."""
+    pages = {addr >> page_bits for addr in addrs}
+    tlb = Tlb(entries=len(pages), page_size=1 << page_bits)
+    for addr in addrs:
+        tlb.access(addr)
+    assert tlb.misses == len(pages)
+
+
+def test_oracle_rejects_bad_config():
+    with pytest.raises(ConfigError):
+        OracleTlb(entries=0, page_size=4096)
+    with pytest.raises(ConfigError):
+        OracleTlb(entries=4, page_size=0)
