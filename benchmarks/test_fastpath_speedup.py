@@ -13,9 +13,13 @@ Run the full gate with::
 
 import time
 
+import pytest
 from bench_support import BENCH_SIM
 
 from repro.figures.common import make_workload
+from repro.memsys import fastpath_coherence
+from repro.memsys.config import e6000_machine
+from repro.memsys.hierarchy import MemoryHierarchy
 from repro.memsys.multisim import simulate_miss_curve
 from repro.rng import RngFactory
 from repro.units import kb, mb
@@ -65,4 +69,76 @@ def test_fastpath_replay_speedup(benchmark):
     assert speedup >= MIN_SPEEDUP, (
         f"vectorized replay only {speedup:.2f}x faster than scalar "
         f"(gate: {MIN_SPEEDUP}x)"
+    )
+
+
+#: The compiled coherence kernel has a much stronger gate than the
+#: numpy miss-curve path: Figure 16's replay must be an order of
+#: magnitude faster, or batching the MOSI hierarchy wasn't worth it.
+MIN_COHERENT_SPEEDUP = 10.0
+
+#: Figure 16's CMP sharing sweep: 8 CPUs over 1/2/4/8 CPUs per L2.
+FIG16_SHARING = (1, 2, 4, 8)
+
+
+def _fig16_traces():
+    workload = make_workload("specjbb", scale=8)
+    bundle = workload.generate(8, BENCH_SIM, RngFactory(seed=BENCH_SIM.seed))
+    # Arrays, exactly as simulate_multiprocessor hands them to run_trace.
+    return list(bundle.per_cpu)
+
+
+def _coherent_state(hierarchy):
+    return (
+        [vars(s) for s in hierarchy.proc_stats],
+        vars(hierarchy.bus.stats),
+        [vars(s) for s in hierarchy.bus.cache_stats],
+        hierarchy.bus._holders,
+    )
+
+
+def _coherent_replay(traces, fastpath: bool):
+    states = []
+    for procs_per_l2 in FIG16_SHARING:
+        machine = e6000_machine(len(traces)).with_shared_l2(procs_per_l2)
+        hierarchy = MemoryHierarchy(machine)
+        hierarchy.run_trace(
+            traces,
+            quantum=BENCH_SIM.interleave_quantum,
+            warmup_fraction=0.5,
+            fastpath=fastpath,
+        )
+        states.append(_coherent_state(hierarchy))
+    return states
+
+
+def test_coherent_replay_speedup(benchmark):
+    traces = _fig16_traces()
+    fast_states = benchmark.pedantic(
+        _coherent_replay, args=(traces, True), iterations=1, rounds=1
+    )
+
+    t0 = time.perf_counter()
+    scalar_states = _coherent_replay(traces, False)
+    t_scalar = time.perf_counter() - t0
+
+    # Parity across every Figure 16 sharing level, always enforced:
+    # per-CPU stats, bus counters, per-cache side counters, holders.
+    assert fast_states == scalar_states
+
+    if not benchmark.enabled:
+        return  # smoke mode: parity checked, timing skipped
+    if not fastpath_coherence.kernel_available():
+        pytest.skip("no C compiler: coherence kernel unavailable")
+    t0 = time.perf_counter()
+    _coherent_replay(traces, True)
+    t_fast = time.perf_counter() - t0
+    speedup = t_scalar / t_fast
+    print(
+        f"\nfig16 coherent replay ({len(FIG16_SHARING)} sharing levels): "
+        f"scalar {t_scalar:.3f}s, kernel {t_fast:.3f}s, {speedup:.1f}x"
+    )
+    assert speedup >= MIN_COHERENT_SPEEDUP, (
+        f"coherence kernel only {speedup:.2f}x faster than scalar "
+        f"(gate: {MIN_COHERENT_SPEEDUP}x)"
     )

@@ -432,7 +432,8 @@ def _add_harness_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-fastpath", action="store_true",
         help="use the scalar replay reference instead of the "
-        "vectorized fast path (results are bit-identical)",
+        "vectorized fast paths (numpy miss-curve sweeps and the "
+        "compiled coherence kernel; results are bit-identical)",
     )
     parser.add_argument(
         "--trace-plane", action=argparse.BooleanOptionalAction, default=None,

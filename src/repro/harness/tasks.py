@@ -49,13 +49,20 @@ def figure_cache_key(
     cache entries keep a parity bug from hiding behind the cache.
     """
     from repro.memsys.fastpath import fastpath_enabled
+    from repro.memsys.fastpath_coherence import kernel_available
     from repro.memsys.invariants import checking_enabled
 
+    # ``coherent`` is the resolved "will hierarchy replay use the
+    # compiled kernel" bit: fastpath on *and* a kernel built.  Same
+    # rationale as ``fastpath`` — identical-by-contract, but distinct
+    # entries keep a kernel parity bug from hiding behind the cache.
+    fastpath = fastpath_enabled()
     return content_key(
         kind="figure",
         module=module_name,
         sim=sim,
-        fastpath=fastpath_enabled(),
+        fastpath=fastpath,
+        coherent=fastpath and kernel_available(),
         checked=checking_enabled(),
         plane=bool(plane),
     )
@@ -291,13 +298,16 @@ def figures_campaign_signature(
 ) -> str:
     """Signature of one ``jmmw figures`` campaign."""
     from repro.memsys.fastpath import fastpath_enabled
+    from repro.memsys.fastpath_coherence import kernel_available
     from repro.memsys.invariants import checking_enabled
 
+    fastpath = fastpath_enabled()
     return content_key(
         kind="figures-campaign",
         modules=tuple(module_names),
         sim=sim,
-        fastpath=fastpath_enabled(),
+        fastpath=fastpath,
+        coherent=fastpath and kernel_available(),
         checked=checking_enabled(),
         plane=bool(plane),
     )

@@ -236,9 +236,11 @@ class MOSIBus:
                             holder.set_state(block, State.OWNED)
                         else:
                             # MSI: memory takes ownership; the copyback
-                            # doubles as a writeback.
+                            # doubles as a writeback, credited to the
+                            # supplying holder like any other writeback.
                             holder.set_state(block, State.SHARED)
                             self.stats.writebacks += 1
+                            self.cache_stats[holder_id].writebacks += 1
                     return FILL_C2C
             # Only clean sharers: memory supplies the data.
         self.stats.memory_fetches += 1

@@ -24,6 +24,8 @@ from repro.errors import ConfigError
 from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH, STORE
 from repro.memsys.cache import SetAssociativeCache
 from repro.memsys.coherence import FILL_C2C, FILL_HIT, FILL_MEM, FILL_UPGRADE, MOSIBus
+from repro.memsys import fastpath as _fastpath
+from repro.memsys import fastpath_coherence as _fastpath_coherence
 from repro.memsys import invariants as _invariants
 
 
@@ -242,6 +244,7 @@ class MemoryHierarchy:
         per_cpu_traces: list[list[int]],
         quantum: int = 64,
         warmup_fraction: float = 0.0,
+        fastpath: bool | None = None,
     ) -> None:
         """Interleave per-processor traces round-robin and replay them.
 
@@ -253,26 +256,43 @@ class MemoryHierarchy:
         With ``warmup_fraction`` > 0, the first fraction of each trace
         fills the caches and is then discarded from the counters, so
         reported rates are steady-state.
+
+        ``fastpath`` controls the compiled coherence kernel
+        (:mod:`repro.memsys.fastpath_coherence`): ``None`` follows the
+        global ``JMMW_FASTPATH`` switch, ``False`` forces the scalar
+        reference loop.  The kernel only engages on a cold hierarchy
+        with no invariant checker attached; whenever it declines, the
+        scalar loop below runs and produces the identical state.
         """
         if len(per_cpu_traces) != self.machine.n_procs:
             raise ConfigError(
                 f"expected {self.machine.n_procs} traces, got {len(per_cpu_traces)}"
             )
+        if quantum <= 0:
+            raise ConfigError("quantum must be positive")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigError("warmup_fraction must be in [0, 1)")
+        if fastpath is None:
+            fastpath = _fastpath.fastpath_enabled()
+        if (
+            fastpath
+            and self.checker is None
+            and _fastpath_coherence.run_trace_kernel(
+                self, per_cpu_traces, quantum, warmup_fraction
+            )
+        ):
+            return
         # Workloads hand over uint64 arrays; the per-reference loop
         # below runs much faster over Python ints than numpy scalars.
         per_cpu_traces = [
             t.tolist() if isinstance(t, np.ndarray) else t for t in per_cpu_traces
         ]
-        if quantum <= 0:
-            raise ConfigError("quantum must be positive")
-        if not 0.0 <= warmup_fraction < 1.0:
-            raise ConfigError("warmup_fraction must be in [0, 1)")
         if warmup_fraction > 0.0:
             warm = [t[: int(len(t) * warmup_fraction)] for t in per_cpu_traces]
             rest = [t[int(len(t) * warmup_fraction) :] for t in per_cpu_traces]
-            self.run_trace(warm, quantum=quantum)
+            self.run_trace(warm, quantum=quantum, fastpath=False)
             self.reset_stats()
-            self.run_trace(rest, quantum=quantum)
+            self.run_trace(rest, quantum=quantum, fastpath=False)
             return
         # Observability is published per leaf replay (the warmup branch
         # above recurses into two leaves around a reset_stats, so the

@@ -254,6 +254,28 @@ class InvariantChecker:
                 f"bus c2c transfers ({bus.stats.c2c_transfers}) != sum of "
                 f"per-processor c2c_fills ({h.total_c2c_fills})"
             )
+        for name in ("writebacks", "upgrades"):
+            bus_total = getattr(bus.stats, name)
+            side_sum = sum(getattr(side, name) for side in bus.cache_stats)
+            if bus_total != side_sum:
+                self._fail(
+                    f"bus {name} ({bus_total}) != sum of per-cache "
+                    f"{name} ({side_sum})"
+                )
+        side_invalidations = sum(
+            side.invalidations_received for side in bus.cache_stats
+        )
+        if bus.stats.invalidations != side_invalidations:
+            self._fail(
+                f"bus invalidations ({bus.stats.invalidations}) != sum of "
+                f"per-cache invalidations_received ({side_invalidations})"
+            )
+        side_misses = sum(side.misses for side in bus.cache_stats)
+        if bus.stats.total_misses != side_misses:
+            self._fail(
+                f"bus total misses ({bus.stats.total_misses}) != sum of "
+                f"per-cache misses ({side_misses})"
+            )
         for cid, side in enumerate(bus.cache_stats):
             if side.c2c_fills + side.mem_fills != side.misses:
                 self._fail(

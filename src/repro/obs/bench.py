@@ -159,17 +159,55 @@ def _stage_scalar_hierarchy(sim: SimConfig) -> Callable[[], None]:
     def run() -> None:
         hierarchy = MemoryHierarchy(machine)
         hierarchy.run_trace(
-            traces, quantum=sim.interleave_quantum, warmup_fraction=0.5
+            traces,
+            quantum=sim.interleave_quantum,
+            warmup_fraction=0.5,
+            fastpath=False,
         )
 
     return run
 
 
-def _stage_figure(module_name: str, sim: SimConfig) -> Callable[[], None]:
-    from repro.figures.common import run_figure
+def _stage_coherent_replay(sim: SimConfig) -> Callable[[], None]:
+    """Same replay as ``scalar/hierarchy_4p`` through the C kernel."""
+    from repro.figures.common import workload_for_procs
+    from repro.memsys.config import e6000_machine
+    from repro.memsys.hierarchy import MemoryHierarchy
+    from repro.rng import RngFactory
+
+    n_procs = 4
+    workload = workload_for_procs("specjbb", n_procs)
+    bundle = workload.generate(n_procs, sim, RngFactory(seed=sim.seed))
+    traces = bundle.per_cpu_lists()
+    machine = e6000_machine(n_procs)
 
     def run() -> None:
-        run_figure(module_name, sim)
+        hierarchy = MemoryHierarchy(machine)
+        hierarchy.run_trace(
+            traces,
+            quantum=sim.interleave_quantum,
+            warmup_fraction=0.5,
+            fastpath=True,
+        )
+
+    return run
+
+
+def _stage_figure(
+    module_name: str, sim: SimConfig, fastpath: bool | None = None
+) -> Callable[[], None]:
+    from repro.figures.common import run_figure
+    from repro.memsys.fastpath import set_fastpath
+
+    def run() -> None:
+        if fastpath is None:
+            run_figure(module_name, sim)
+            return
+        set_fastpath(fastpath)
+        try:
+            run_figure(module_name, sim)
+        finally:
+            set_fastpath(None)
 
     return run
 
@@ -261,9 +299,17 @@ SUITE: list[tuple[str, Callable[[SimConfig], Callable[[], None]]]] = [
     ("fastpath/stack_distances", _stage_stackdist_kernel),
     ("scalar/miss_curve", _stage_scalar_sweep),
     ("scalar/hierarchy_4p", _stage_scalar_hierarchy),
+    ("memsys/coherent_replay", _stage_coherent_replay),
     ("figures/fig12", lambda sim: _stage_figure("fig12_icache", sim)),
     ("figures/fig13", lambda sim: _stage_figure("fig13_dcache", sim)),
-    ("figures/fig16", lambda sim: _stage_figure("fig16_sharedcache", sim)),
+    (
+        "figures/fig16",
+        lambda sim: _stage_figure("fig16_sharedcache", sim, fastpath=False),
+    ),
+    (
+        "figures/fig16_fast",
+        lambda sim: _stage_figure("fig16_sharedcache", sim, fastpath=True),
+    ),
     ("harness/cold_cache", lambda sim: _stage_harness(sim, warm=False)),
     ("harness/warm_cache", lambda sim: _stage_harness(sim, warm=True)),
     ("harness/sweep_cold", lambda sim: _stage_sweep(sim, plane_on=False)),

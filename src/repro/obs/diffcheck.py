@@ -590,9 +590,11 @@ class OracleCoherentMachine:
                         l2.set_state(block, "O")
                     else:
                         # MSI (and MESI): memory takes ownership; the
-                        # copyback doubles as a writeback.
+                        # copyback doubles as a writeback, credited to
+                        # the supplying holder.
                         l2.set_state(block, "S")
                         self.bus_stats["writebacks"] += 1
+                        self.side_stats[cid]["writebacks"] += 1
                 return "c2c"
         self.bus_stats["memory_fetches"] += 1
         return "mem"
@@ -676,6 +678,28 @@ def compare_counter_vectors(
                 f"c2c_by_line[{bad:#x}]: model "
                 f"{bus.c2c_by_line.get(bad, 0)} != oracle "
                 f"{oracle.c2c_by_line.get(bad, 0)}"
+            )
+    # Conservation identities: bus-wide totals must equal the per-cache
+    # sums.  The oracle shares the protocol spec with the model, so a
+    # bug in the *accounting* (like MSI copyback writebacks credited
+    # bus-wide but never per-cache) can agree field-for-field above and
+    # still violate these.
+    sides = hierarchy.bus.cache_stats
+    identities = (
+        ("writebacks", bus.writebacks, sum(s.writebacks for s in sides)),
+        ("upgrades", bus.upgrades, sum(s.upgrades for s in sides)),
+        ("invalidations", bus.invalidations,
+         sum(s.invalidations_received for s in sides)),
+        ("c2c_transfers", bus.c2c_transfers, sum(s.c2c_fills for s in sides)),
+        ("total_misses", bus.total_misses, sum(s.misses for s in sides)),
+        ("c2c+mem fills", bus.total_misses,
+         bus.c2c_transfers + bus.memory_fetches),
+    )
+    for label, bus_total, side_total in identities:
+        if bus_total != side_total:
+            return (
+                f"conservation: bus {label} {bus_total} != "
+                f"per-cache sum {side_total}"
             )
     return None
 
@@ -773,6 +797,21 @@ def diff_hierarchy_replay(
         mismatch = compare_counter_vectors(hierarchy, oracle)
         if mismatch:
             divergence = Divergence(index=seen, detail=mismatch, context=ring_text())
+    if divergence is None:
+        # Third model: the same traces through run_trace, which routes
+        # to the compiled coherence kernel when the fast path is
+        # enabled (and the scalar loop when it is not), so diffcheck
+        # validates whichever replay path the figures would use.
+        batched = MemoryHierarchy(machine, protocol=protocol)
+        batched.run_trace(
+            traces, quantum=quantum, warmup_fraction=warmup_fraction
+        )
+        checks += 1
+        mismatch = compare_counter_vectors(batched, oracle)
+        if mismatch:
+            divergence = Divergence(
+                index=seen, detail=f"batched replay: {mismatch}"
+            )
     return DiffReport(name, total_refs, checks, divergence)
 
 

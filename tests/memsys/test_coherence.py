@@ -84,6 +84,19 @@ def test_msi_supplier_downgrades_to_memory():
     assert bus.stats.c2c_transfers == 1
 
 
+def test_msi_copyback_credits_supplying_holder():
+    """Regression: the MSI snoop-copyback writeback must be credited to
+    the supplying cache's side counter, not just the bus total —
+    otherwise ``sum(cs.writebacks) != stats.writebacks`` under MSI."""
+    bus = make_bus(n_caches=3, protocol="msi")
+    bus.write(0, 5)
+    bus.read(1, 5)  # copyback: holder 0 supplies and writes back
+    assert bus.stats.writebacks == 1
+    assert bus.cache_stats[0].writebacks == 1
+    assert bus.cache_stats[1].writebacks == 0
+    assert bus.stats.writebacks == sum(cs.writebacks for cs in bus.cache_stats)
+
+
 def test_write_to_shared_is_upgrade():
     bus = make_bus()
     bus.read(0, 5)
@@ -231,3 +244,12 @@ def test_invariants_hold_under_random_traffic(ops, protocol):
     for side in bus.cache_stats:
         assert side.c2c_fills + side.mem_fills == side.misses
         assert sum(side.misses_by_kind.values()) == side.misses
+    # Bus totals must equal the per-cache sums (the MSI copyback
+    # writeback bug broke the first of these).
+    sides = bus.cache_stats
+    assert bus.stats.writebacks == sum(s.writebacks for s in sides)
+    assert bus.stats.upgrades == sum(s.upgrades for s in sides)
+    assert bus.stats.invalidations == sum(s.invalidations_received for s in sides)
+    assert bus.stats.total_misses == sum(s.misses for s in sides)
+    assert bus.stats.c2c_transfers == sum(s.c2c_fills for s in sides)
+    assert bus.stats.memory_fetches == sum(s.mem_fills for s in sides)

@@ -1,0 +1,344 @@
+"""Compiled coherence kernel vs. the scalar hierarchy (bit-identical).
+
+The parity contract is *full machine state*, not just headline
+counters: per-CPU :class:`ProcessorStats`, bus and per-cache side
+counters, the per-line C2C footprint, the holders mirror, the miss
+classifiers' history sets, the L1-internal counters, and every cache's
+contents **in LRU order** (dict equality ignores insertion order, so
+the comparisons use ``list(d.items())`` per set).
+
+Adversarial sharing patterns target the protocol paths a uniform
+random trace rarely stresses: migratory lines (M→c2c→upgrade cycles),
+producer-consumer (stable dirty supplier), false sharing (distinct
+words, one block) and all-CPUs-one-block contention.
+
+The seeded-defect tests prove the gates fail loudly: a kernel bug in
+MSI copyback crediting trips the InvariantChecker conservation
+identity, and a kernel bug in LRU maintenance diverges from the scalar
+replay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvariantViolation
+from repro.memsys import fastpath, fastpath_coherence
+from repro.memsys.block import IFETCH, LOAD, STORE, encode_ref
+from repro.memsys.config import CacheConfig, MachineConfig
+from repro.memsys.hierarchy import MemoryHierarchy
+
+needs_kernel = pytest.mark.skipif(
+    not fastpath_coherence.kernel_available(),
+    reason="no C compiler available to build the coherence kernel",
+)
+
+PROTOCOLS = ("mosi", "msi", "mesi")
+
+
+def small_machine(n_procs: int = 4, procs_per_l2: int = 1) -> MachineConfig:
+    """Tiny caches so short traces still evict, share and write back."""
+    return MachineConfig(
+        n_procs=n_procs,
+        l1i=CacheConfig(size=1024, assoc=2, block=32, name="L1I"),
+        l1d=CacheConfig(size=1024, assoc=2, block=32, name="L1D"),
+        l2=CacheConfig(size=4096, assoc=4, block=64, name="L2"),
+        procs_per_l2=procs_per_l2,
+    )
+
+
+def full_state(h: MemoryHierarchy):
+    """Everything the scalar replay leaves behind, LRU order included."""
+    return (
+        [vars(s) for s in h.proc_stats],
+        vars(h.bus.stats),
+        [vars(s) for s in h.bus.cache_stats],
+        h.bus._holders,
+        [(c._ever_held, c._invalidated) for c in h.bus.classifiers],
+        [
+            [list(line_set.items()) for line_set in cache._sets]
+            for cache in list(h.bus.caches) + h._l1i + h._l1d
+        ],
+        [(vars(i.stats), vars(d.stats)) for i, d in zip(h._l1i, h._l1d)],
+    )
+
+
+def replay_both(machine, traces, protocol="mosi", warmup_fraction=0.0):
+    """Scalar and kernel replays of the same traces; returns both."""
+    scalar = MemoryHierarchy(machine, protocol=protocol)
+    scalar.run_trace(
+        traces, quantum=64, warmup_fraction=warmup_fraction, fastpath=False
+    )
+    fast = MemoryHierarchy(machine, protocol=protocol)
+    used = fastpath_coherence.run_trace_kernel(fast, traces, 64, warmup_fraction)
+    assert used, "kernel unexpectedly declined a cold replay"
+    return scalar, fast
+
+
+# -- adversarial sharing patterns ------------------------------------------
+
+
+def migratory_traces(n_procs: int, n_blocks: int = 24, rounds: int = 12):
+    """Every CPU read-modify-writes every block, in phase-shifted order."""
+    out = []
+    for cpu in range(n_procs):
+        refs = []
+        for r in range(rounds):
+            for i in range(n_blocks):
+                addr = ((i + cpu + r) % n_blocks) * 64
+                refs.append(encode_ref(addr, LOAD))
+                refs.append(encode_ref(addr, STORE))
+        out.append(refs)
+    return out
+
+
+def producer_consumer_traces(n_procs: int, n_blocks: int = 16, rounds: int = 30):
+    """CPU 0 writes a buffer ring; everyone else polls it."""
+    out = []
+    for cpu in range(n_procs):
+        refs = []
+        for r in range(rounds):
+            for i in range(n_blocks):
+                addr = i * 64
+                kind = STORE if cpu == 0 else LOAD
+                refs.append(encode_ref(addr, kind))
+        out.append(refs)
+    return out
+
+
+def false_sharing_traces(n_procs: int, rounds: int = 150):
+    """Each CPU stores its own word of the same 64-byte line."""
+    return [
+        [encode_ref(cpu * 8, STORE) for _ in range(rounds)]
+        for cpu in range(n_procs)
+    ]
+
+
+def one_block_traces(n_procs: int, rounds: int = 150):
+    """All CPUs load and store the same block."""
+    return [
+        [
+            encode_ref(0, LOAD if (cpu + r) % 2 else STORE)
+            for r in range(rounds)
+        ]
+        for cpu in range(n_procs)
+    ]
+
+
+PATTERNS = [
+    ("migratory", migratory_traces),
+    ("producer-consumer", producer_consumer_traces),
+    ("false-sharing", false_sharing_traces),
+    ("one-block", one_block_traces),
+]
+
+
+@needs_kernel
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("pattern", [name for name, _ in PATTERNS])
+def test_adversarial_sharing_parity(protocol, pattern):
+    make = dict(PATTERNS)[pattern]
+    traces = make(4)
+    for procs_per_l2 in (1, 2):
+        machine = small_machine(4, procs_per_l2)
+        scalar, fast = replay_both(machine, traces, protocol=protocol)
+        assert full_state(fast) == full_state(scalar)
+
+
+@needs_kernel
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_warmup_discard_parity(protocol):
+    traces = migratory_traces(4)
+    scalar, fast = replay_both(
+        small_machine(4), traces, protocol=protocol, warmup_fraction=0.5
+    )
+    assert full_state(fast) == full_state(scalar)
+
+
+@needs_kernel
+def test_no_l1_parity():
+    traces = producer_consumer_traces(4)
+    machine = small_machine(4)
+    scalar = MemoryHierarchy(machine, include_l1=False)
+    scalar.run_trace(traces, fastpath=False)
+    fast = MemoryHierarchy(machine, include_l1=False)
+    assert fastpath_coherence.run_trace_kernel(fast, traces, 64, 0.0)
+    assert full_state(fast) == full_state(scalar)
+
+
+@needs_kernel
+def test_untracked_lines_parity():
+    traces = migratory_traces(4)
+    machine = small_machine(4)
+    scalar = MemoryHierarchy(machine, track_lines=False)
+    scalar.run_trace(traces, fastpath=False)
+    fast = MemoryHierarchy(machine, track_lines=False)
+    assert fastpath_coherence.run_trace_kernel(fast, traces, 64, 0.0)
+    assert full_state(fast) == full_state(scalar)
+    assert fast.bus.stats.c2c_by_line == {}
+    assert fast.bus.stats.touched_lines == set()
+
+
+# -- hypothesis differential ------------------------------------------------
+
+
+def random_traces(seed: int, n_procs: int, n: int, n_blocks: int):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n_procs):
+        kinds = rng.choice([IFETCH, LOAD, STORE], size=n, p=[0.3, 0.45, 0.25])
+        addrs = rng.integers(0, n_blocks, size=n) * 32
+        out.append(
+            [encode_ref(int(a), int(k)) for a, k in zip(addrs, kinds)]
+        )
+    return out
+
+
+@needs_kernel
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    protocol=st.sampled_from(PROTOCOLS),
+    procs_per_l2=st.sampled_from([1, 2]),
+    warmup=st.sampled_from([0.0, 0.5]),
+)
+def test_random_traffic_parity(seed, protocol, procs_per_l2, warmup):
+    traces = random_traces(seed, 4, 1500, 96)
+    machine = small_machine(4, procs_per_l2)
+    scalar, fast = replay_both(
+        machine, traces, protocol=protocol, warmup_fraction=warmup
+    )
+    assert full_state(fast) == full_state(scalar)
+
+
+@needs_kernel
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_invariants_hold_after_kernel_replay(protocol):
+    fast = MemoryHierarchy(small_machine(4), protocol=protocol)
+    assert fastpath_coherence.run_trace_kernel(
+        fast, migratory_traces(4), 64, 0.0
+    )
+    fast.check_invariants()
+    fast.bus.check_invariants()
+
+
+@needs_kernel
+def test_kernel_state_carries_into_scalar_replay():
+    """A kernel-warmed hierarchy must continue exactly like a scalar one."""
+    first = migratory_traces(4)
+    second = producer_consumer_traces(4)
+    scalar = MemoryHierarchy(small_machine(4))
+    scalar.run_trace(first, fastpath=False)
+    scalar.run_trace(second, fastpath=False)
+    mixed = MemoryHierarchy(small_machine(4))
+    assert fastpath_coherence.run_trace_kernel(mixed, first, 64, 0.0)
+    # Warm machine: the kernel declines, the scalar loop continues on
+    # the imported state.
+    mixed.run_trace(second, fastpath=True)
+    assert full_state(mixed) == full_state(scalar)
+
+
+# -- seeded defects: the gates fail loudly ----------------------------------
+
+
+@needs_kernel
+def test_seeded_msi_copyback_defect_trips_invariant_checker():
+    """Re-introducing the MSI writeback-credit bug must fail the checker."""
+    traces = producer_consumer_traces(4)  # stable dirty supplier: many copybacks
+    fastpath_coherence.set_kernel_defect(1)
+    try:
+        fast = MemoryHierarchy(small_machine(4), protocol="msi")
+        assert fastpath_coherence.run_trace_kernel(fast, traces, 64, 0.0)
+    finally:
+        fastpath_coherence.set_kernel_defect(0)
+    assert fast.bus.stats.c2c_transfers > 0, "pattern produced no copybacks"
+    with pytest.raises(InvariantViolation, match="writebacks"):
+        fast.check_invariants()
+
+
+@needs_kernel
+def test_seeded_lru_defect_diverges_from_scalar():
+    """Skipping the LRU refresh on L2 read hits must break parity."""
+    traces = random_traces(99, 4, 1500, 96)
+    machine = small_machine(4)
+    scalar = MemoryHierarchy(machine)
+    scalar.run_trace(traces, fastpath=False)
+    fastpath_coherence.set_kernel_defect(2)
+    try:
+        fast = MemoryHierarchy(machine)
+        assert fastpath_coherence.run_trace_kernel(fast, traces, 64, 0.0)
+    finally:
+        fastpath_coherence.set_kernel_defect(0)
+    assert full_state(fast) != full_state(scalar)
+
+
+# -- routing and escape hatches ---------------------------------------------
+
+
+def test_fastpath_false_never_calls_kernel(monkeypatch):
+    def boom(*args, **kwargs):
+        raise AssertionError("kernel called despite fastpath=False")
+
+    monkeypatch.setattr(fastpath_coherence, "run_trace_kernel", boom)
+    h = MemoryHierarchy(small_machine(2))
+    h.run_trace(one_block_traces(2), fastpath=False)
+    assert h.bus.stats.total_misses > 0
+
+
+def test_env_escape_hatch_disables_kernel(monkeypatch):
+    def boom(*args, **kwargs):
+        raise AssertionError("kernel called despite JMMW_FASTPATH=0")
+
+    monkeypatch.setattr(fastpath_coherence, "run_trace_kernel", boom)
+    monkeypatch.setattr(fastpath, "_forced", None)
+    monkeypatch.setenv(fastpath.FASTPATH_ENV, "0")
+    h = MemoryHierarchy(small_machine(2))
+    h.run_trace(one_block_traces(2))
+    assert h.bus.stats.total_misses > 0
+
+
+def test_invariant_checker_forces_scalar_path(monkeypatch):
+    def boom(*args, **kwargs):
+        raise AssertionError("kernel called with an invariant checker attached")
+
+    monkeypatch.setattr(fastpath_coherence, "run_trace_kernel", boom)
+    h = MemoryHierarchy(small_machine(2), check_invariants=True, check_sample=64)
+    h.run_trace(one_block_traces(2), fastpath=True)
+    assert h.bus.stats.total_misses > 0
+
+
+def test_missing_compiler_falls_back_to_scalar(monkeypatch):
+    monkeypatch.setattr(fastpath_coherence, "_load_library", lambda: None)
+    machine = small_machine(2)
+    traces = one_block_traces(2)
+    assert not fastpath_coherence.run_trace_kernel(
+        MemoryHierarchy(machine), traces, 64, 0.0
+    )
+    h = MemoryHierarchy(machine)
+    h.run_trace(traces, fastpath=True)  # silently scalar
+    ref = MemoryHierarchy(machine)
+    ref.run_trace(traces, fastpath=False)
+    assert full_state(h) == full_state(ref)
+
+
+@needs_kernel
+def test_warm_hierarchy_declines_kernel():
+    h = MemoryHierarchy(small_machine(2))
+    traces = one_block_traces(2)
+    h.run_trace(traces, fastpath=False)
+    assert not fastpath_coherence.run_trace_kernel(h, traces, 64, 0.0)
+
+
+@needs_kernel
+def test_too_many_l2_caches_declines_kernel():
+    machine = MachineConfig(
+        n_procs=65,
+        l1i=CacheConfig(size=1024, assoc=2, block=32, name="L1I"),
+        l1d=CacheConfig(size=1024, assoc=2, block=32, name="L1D"),
+        l2=CacheConfig(size=4096, assoc=4, block=64, name="L2"),
+    )
+    h = MemoryHierarchy(machine)
+    assert not fastpath_coherence.run_trace_kernel(
+        h, [[] for _ in range(65)], 64, 0.0
+    )
