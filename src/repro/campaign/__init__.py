@@ -1,0 +1,70 @@
+"""Fault-tolerant run-table campaigns over a pluggable fleet executor.
+
+The paper's methodology is a *run table* — configurations x sizes x
+repetitions, reported mean ± std — and this package executes one
+end-to-end, surviving the failures long campaigns actually hit:
+
+- :mod:`repro.campaign.table` — declarative run tables
+  (:class:`Axis` / :class:`RunTable` / :class:`CampaignSpec`);
+- :mod:`repro.campaign.executor` — the pluggable :class:`Executor`
+  backend contract plus the in-process :class:`SerialExecutor`
+  reference;
+- :mod:`repro.campaign.fleet` — process-backed executors:
+  :class:`LocalPoolExecutor` (the harness's owned worker pool) and
+  :class:`SubprocessFleetExecutor` (independent heartbeat-sending
+  workers with private cache shards);
+- :mod:`repro.campaign.scheduler` — lease-based scheduling with
+  retries, poisoned-cell quarantine, straggler speculation and
+  graceful degradation;
+- :mod:`repro.campaign.report` — deterministic mean ± std reports
+  with explicit degradation sections;
+- :mod:`repro.campaign.state` — read-only journal loading for
+  ``jmmw campaign status|report``;
+- :mod:`repro.campaign.studies` — the named run tables the CLI knows.
+
+Results are bit-identical across executors by contract: the serial
+executor is the reference, and the chaos suite proves a fleet campaign
+ridden with injected faults still reproduces its bits cell for cell.
+"""
+
+from repro.campaign.executor import (
+    CellDone,
+    Executor,
+    LeaseView,
+    SerialExecutor,
+    WorkerDead,
+)
+from repro.campaign.fleet import LocalPoolExecutor, SubprocessFleetExecutor
+from repro.campaign.scheduler import (
+    STATUS_FAILED,
+    STATUS_MISSING,
+    STATUS_OK,
+    STATUS_POISONED,
+    CampaignPolicy,
+    CampaignResult,
+    CellOutcome,
+    run_campaign,
+)
+from repro.campaign.table import Axis, CampaignSpec, Cell, RunTable
+
+__all__ = [
+    "Axis",
+    "CampaignPolicy",
+    "CampaignResult",
+    "CampaignSpec",
+    "Cell",
+    "CellDone",
+    "CellOutcome",
+    "Executor",
+    "LeaseView",
+    "LocalPoolExecutor",
+    "RunTable",
+    "STATUS_FAILED",
+    "STATUS_MISSING",
+    "STATUS_OK",
+    "STATUS_POISONED",
+    "SerialExecutor",
+    "SubprocessFleetExecutor",
+    "WorkerDead",
+    "run_campaign",
+]

@@ -1,0 +1,218 @@
+"""The pluggable execution backend a campaign schedules cells over.
+
+The scheduler (:mod:`repro.campaign.scheduler`) is deliberately
+backend-agnostic: it sees an :class:`Executor` as a set of numbered
+worker *slots* that can be dispatched to, polled for events, and —
+when a lease expires — reclaimed by force.  Three implementations
+ship:
+
+- :class:`SerialExecutor` — in-process, synchronous; the reference
+  backend every other one must be bit-identical to;
+- :class:`~repro.campaign.fleet.LocalPoolExecutor` — wraps the
+  harness's owned worker-process pool
+  (:class:`repro.harness.runner._Worker`); liveness comes from the
+  process sentinel and dispatch timestamps, like the runner's
+  watchdog;
+- :class:`~repro.campaign.fleet.SubprocessFleetExecutor` — N
+  *independent* worker processes, each with its own result-cache
+  shard and its own locally-generated traces, sending periodic
+  heartbeats.  It stands in for the SSH/multi-host backend and
+  exercises every failure mode a remote host has: death, silent
+  wedging (heartbeat stall), and permanent loss (respawn budget
+  exhausted, capacity shrinks).
+
+The event protocol is three messages: :class:`CellDone` (a result or
+an in-task error), :class:`WorkerDead` (the slot's process is gone,
+with the cell it was running, if any), and heartbeats, which executors
+absorb internally into :class:`LeaseView.last_beat`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import obs
+
+
+@dataclass(frozen=True)
+class CellDone:
+    """A worker finished one cell attempt (successfully or not)."""
+
+    wid: int
+    cell_key: str
+    attempt: int
+    ok: bool
+    value: Any = None
+    error: str = ""
+    wall_s: float = 0.0
+    pid: int | None = None
+    obs_payload: Any = None
+
+
+@dataclass(frozen=True)
+class WorkerDead:
+    """A worker slot's process died (crash, OOM kill, SIGKILL).
+
+    ``cell_key`` is ``None`` when the worker was idle.  The slot is
+    *not* automatically respawned — the scheduler decides, through
+    :meth:`Executor.ensure_capacity`, so a respawn budget can bound
+    how much a flapping host costs.
+    """
+
+    wid: int
+    exitcode: int | None
+    cell_key: str | None
+    attempt: int
+
+
+@dataclass(frozen=True)
+class LeaseView:
+    """A scheduler-visible snapshot of one busy worker slot."""
+
+    wid: int
+    cell_key: str
+    attempt: int
+    started: float  # time.monotonic at dispatch
+    last_beat: float | None  # last heartbeat, None if the backend has none
+
+
+class Executor(ABC):
+    """N worker slots a campaign dispatches cells to.
+
+    ``heartbeats`` tells the scheduler whether :attr:`LeaseView.last_beat`
+    is meaningful: with heartbeats, a silent lease is a *wedged* worker
+    and is reclaimed after ``lease_timeout_s``; without them, only the
+    per-cell wall-clock budget (``FaultPolicy.timeout_s``) applies.
+    """
+
+    name: str = "executor"
+    heartbeats: bool = False
+
+    @abstractmethod
+    def start(self) -> None:
+        """Bring up the worker slots."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Tear everything down (idempotent; used in ``finally``)."""
+
+    @property
+    @abstractmethod
+    def capacity(self) -> int:
+        """Live worker slots (busy + idle)."""
+
+    @abstractmethod
+    def idle(self) -> list[int]:
+        """Slot ids currently free for dispatch."""
+
+    @abstractmethod
+    def leases(self) -> list[LeaseView]:
+        """Snapshot of every busy slot."""
+
+    @abstractmethod
+    def dispatch(
+        self, wid: int, cell_key: str, fn: Callable, args: tuple,
+        kwargs: dict, attempt: int,
+    ) -> bool:
+        """Ship one cell attempt to a slot; False if the slot is dead.
+
+        A False return must be side-effect free for the cell (no
+        attempt charged): the slot is marked dead and the scheduler
+        redispatches elsewhere.
+        """
+
+    @abstractmethod
+    def poll(self, timeout: float) -> list[Any]:
+        """Collect events (CellDone / WorkerDead), waiting up to ``timeout``."""
+
+    @abstractmethod
+    def reclaim(self, wid: int, reason: str) -> tuple[str | None, int]:
+        """Forcibly kill a busy slot; returns ``(cell_key, attempt)``.
+
+        Used when a lease expires: the worker cannot be trusted to
+        ever answer, so the process is killed outright and no
+        WorkerDead event is emitted for it (the scheduler already
+        knows).
+        """
+
+    @abstractmethod
+    def ensure_capacity(self) -> int:
+        """Respawn dead slots within the budget; returns live capacity."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SerialExecutor(Executor):
+    """In-process synchronous execution: the bit-identical reference.
+
+    ``dispatch`` runs the cell immediately and queues the event for
+    the next ``poll``.  There are no leases, no heartbeats and no way
+    to die — chaos injectors that kill their executor must not be run
+    on it (they would kill the campaign process itself).
+    """
+
+    name = "serial"
+    heartbeats = False
+
+    def __init__(self) -> None:
+        self._events: list[Any] = []
+        self._started = False
+
+    def start(self) -> None:
+        self._started = True
+
+    def stop(self) -> None:
+        self._started = False
+        self._events.clear()
+
+    @property
+    def capacity(self) -> int:
+        return 1 if self._started else 0
+
+    def idle(self) -> list[int]:
+        return [0] if self._started else []
+
+    def leases(self) -> list[LeaseView]:
+        return []
+
+    def dispatch(
+        self, wid: int, cell_key: str, fn: Callable, args: tuple,
+        kwargs: dict, attempt: int,
+    ) -> bool:
+        t0 = time.perf_counter()
+        try:
+            value = fn(*args, **kwargs)
+        except Exception as exc:
+            self._events.append(
+                CellDone(
+                    wid=wid, cell_key=cell_key, attempt=attempt, ok=False,
+                    error=repr(exc), wall_s=time.perf_counter() - t0,
+                    pid=os.getpid(),
+                )
+            )
+            return True
+        self._events.append(
+            CellDone(
+                wid=wid, cell_key=cell_key, attempt=attempt, ok=True,
+                value=value, wall_s=time.perf_counter() - t0, pid=os.getpid(),
+                obs_payload=obs.drain_payload(),
+            )
+        )
+        return True
+
+    def poll(self, timeout: float) -> list[Any]:
+        events, self._events = self._events, []
+        return events
+
+    def reclaim(self, wid: int, reason: str) -> tuple[str | None, int]:
+        raise NotImplementedError(  # pragma: no cover - scheduler never calls
+            "serial execution has no leases to reclaim"
+        )
+
+    def ensure_capacity(self) -> int:
+        return self.capacity

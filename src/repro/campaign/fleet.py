@@ -1,0 +1,472 @@
+"""Process-backed campaign executors: the local pool and the fleet.
+
+Two :class:`~repro.campaign.executor.Executor` implementations over
+owned worker processes:
+
+- :class:`LocalPoolExecutor` wraps the harness runner's owned worker
+  pool (:class:`repro.harness.runner._Worker` and its
+  ``_worker_main`` loop) — the same processes, pipes and message
+  format ``jmmw figures --jobs N`` uses.  Liveness is the process
+  sentinel plus dispatch timestamps; there are no heartbeats, so the
+  scheduler applies only the per-cell wall-clock budget to its leases.
+
+- :class:`SubprocessFleetExecutor` runs N *independent* workers that
+  stand in for remote hosts: each gets its own result-cache shard
+  (``JMMW_CACHE_DIR`` pointed at a per-worker directory) and generates
+  its own traces locally (no parent-published trace plane), so
+  nothing but the duplex pipe is shared — exactly the isolation an
+  SSH/multi-host backend would have, and therefore every failure mode
+  of one: a fleet worker sends a heartbeat every ``heartbeat_s`` from
+  a side thread, and a worker that stops beating while its process is
+  still alive is indistinguishable from a wedged remote host.  The
+  scheduler reclaims its lease by force.
+
+Both executors respawn dead slots on demand (``ensure_capacity``) up
+to a ``max_respawns`` budget; past it, capacity shrinks and the
+campaign degrades gracefully instead of burning workers forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from multiprocessing import connection
+from typing import Any, Callable
+
+from repro import obs
+from repro.campaign.executor import CellDone, Executor, LeaseView, WorkerDead
+from repro.errors import ConfigError
+from repro.harness.runner import Task, _mp_context, _Worker
+
+#: Set inside a fleet worker to suppress its heartbeat thread — the
+#: chaos hook behind :func:`repro.harness.chaos.stall_heartbeat`.  A
+#: stalled worker keeps running its cell; only the "I am alive" signal
+#: stops, which is what a wedged remote host looks like from outside.
+_HB_STALLED = threading.Event()
+
+
+def stall_heartbeats() -> None:
+    """(Chaos hook) stop this fleet worker's heartbeats from now on."""
+    _HB_STALLED.set()
+
+
+def resume_heartbeats() -> None:
+    """(Chaos hook) let this fleet worker's heartbeats flow again."""
+    _HB_STALLED.clear()
+
+
+def _fleet_worker_main(
+    conn: connection.Connection, heartbeat_s: float
+) -> None:
+    """Fleet worker loop: apply init env, beat, run cells, reply.
+
+    Modeled on :func:`repro.harness.runner._worker_main` (SIGINT
+    ignored, result-pickle failures reported instead of fatal) plus a
+    daemon heartbeat thread that shares the pipe under a send lock.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    obs.reset()
+    _HB_STALLED.clear()  # fork inherits nothing scary, but be explicit
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def beat() -> None:
+        while not stop_beating.wait(heartbeat_s):
+            if _HB_STALLED.is_set():
+                continue
+            try:
+                with send_lock:
+                    conn.send(("hb", time.monotonic()))
+            except (OSError, ValueError):  # pipe gone: parent left
+                return
+
+    threading.Thread(target=beat, name="jmmw-heartbeat", daemon=True).start()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:  # clean shutdown
+            break
+        if message[0] == "init":
+            # Per-worker environment (cache shard, etc.) — applied in
+            # the worker so it works under both fork and spawn.
+            os.environ.update(message[1])
+            continue
+        _, cell_key, fn, args, kwargs, obs_on = message
+        if obs_on != obs.enabled():
+            obs.enable() if obs_on else obs.disable()
+        t0 = time.perf_counter()
+        try:
+            value = fn(*args, **kwargs)
+        except BaseException as exc:
+            with send_lock:
+                conn.send(
+                    ("error", cell_key, repr(exc), time.perf_counter() - t0,
+                     os.getpid(), obs.drain_payload())
+                )
+            continue
+        wall_s = time.perf_counter() - t0
+        payload = obs.drain_payload()
+        try:
+            with send_lock:
+                conn.send(("ok", cell_key, value, wall_s, os.getpid(), payload))
+        except Exception as exc:
+            with send_lock:
+                conn.send(
+                    ("error", cell_key, f"result not picklable: {exc!r}",
+                     wall_s, os.getpid(), payload)
+                )
+    stop_beating.set()
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+class _FleetSlot:
+    """One fleet worker process plus its pipe and lease bookkeeping."""
+
+    def __init__(
+        self,
+        ctx: multiprocessing.context.BaseContext,
+        wid: int,
+        heartbeat_s: float,
+        env: dict[str, str] | None,
+    ) -> None:
+        self.wid = wid
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_fleet_worker_main, args=(child_conn, heartbeat_s),
+            daemon=True, name=f"jmmw-fleet-{wid}",
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        if env:
+            self.conn.send(("init", dict(env)))
+        self.cell_key: str | None = None
+        self.attempt = 0
+        self.started = 0.0
+        self.last_beat: float | None = None
+
+    def dispatch(
+        self, cell_key: str, fn: Callable, args: tuple, kwargs: dict,
+        attempt: int,
+    ) -> None:
+        self.conn.send(("run", cell_key, fn, args, dict(kwargs), obs.enabled()))
+        self.cell_key = cell_key
+        self.attempt = attempt
+        self.started = time.monotonic()
+        self.last_beat = self.started
+
+    def handle_message(self) -> CellDone | str | None:
+        """One message off the pipe: an event, ``"hb"``, or None (dead)."""
+        try:
+            message = self.conn.recv()
+        except (EOFError, OSError):
+            return None
+        if message[0] == "hb":
+            self.last_beat = time.monotonic()
+            return "hb"
+        status, cell_key, payload, wall_s, pid, obs_payload = message
+        self.last_beat = time.monotonic()
+        attempt = self.attempt
+        self.cell_key = None
+        if status == "ok":
+            return CellDone(
+                wid=self.wid, cell_key=cell_key, attempt=attempt, ok=True,
+                value=payload, wall_s=wall_s, pid=pid, obs_payload=obs_payload,
+            )
+        return CellDone(
+            wid=self.wid, cell_key=cell_key, attempt=attempt, ok=False,
+            error=payload, wall_s=wall_s, pid=pid, obs_payload=obs_payload,
+        )
+
+    def kill(self) -> None:
+        self.process.kill()
+        self.process.join()
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except OSError:
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join()
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _PoolSlot:
+    """Adapter presenting the harness runner's ``_Worker`` as a slot."""
+
+    def __init__(self, ctx: multiprocessing.context.BaseContext, wid: int) -> None:
+        self.wid = wid
+        self._worker = _Worker(ctx, wid)
+        self.last_beat: float | None = None  # the pool has no heartbeats
+
+    @property
+    def process(self):
+        return self._worker.process
+
+    @property
+    def conn(self):
+        return self._worker.conn
+
+    @property
+    def cell_key(self) -> str | None:
+        return self._worker.task.key if self._worker.task is not None else None
+
+    @cell_key.setter
+    def cell_key(self, value: str | None) -> None:
+        if value is None:
+            self._worker.task = None
+
+    @property
+    def attempt(self) -> int:
+        return self._worker.attempt
+
+    @property
+    def started(self) -> float:
+        return self._worker.started
+
+    def dispatch(
+        self, cell_key: str, fn: Callable, args: tuple, kwargs: dict,
+        attempt: int,
+    ) -> None:
+        self._worker.dispatch(
+            Task(key=cell_key, fn=fn, args=args, kwargs=dict(kwargs)), attempt
+        )
+
+    def handle_message(self) -> CellDone | str | None:
+        try:
+            status, payload, wall_s, pid, obs_payload = self.conn.recv()
+        except (EOFError, OSError):
+            return None
+        cell_key, attempt = self.cell_key, self.attempt
+        self._worker.task = None
+        if status == "ok":
+            return CellDone(
+                wid=self.wid, cell_key=cell_key, attempt=attempt, ok=True,
+                value=payload, wall_s=wall_s, pid=pid, obs_payload=obs_payload,
+            )
+        return CellDone(
+            wid=self.wid, cell_key=cell_key, attempt=attempt, ok=False,
+            error=payload, wall_s=wall_s, pid=pid, obs_payload=obs_payload,
+        )
+
+    def kill(self) -> None:
+        self._worker.kill()
+
+    def shutdown(self) -> None:
+        self._worker.shutdown()
+
+
+class _ProcessExecutor(Executor):
+    """Shared machinery for slot-based executors over owned processes."""
+
+    def __init__(self, workers: int = 2, *, max_respawns: int | None = None) -> None:
+        if workers < 1:
+            raise ConfigError("executor needs at least one worker")
+        if max_respawns is not None and max_respawns < 0:
+            raise ConfigError("max_respawns must be non-negative (or None)")
+        self.workers = workers
+        #: Dead slots revived before capacity starts shrinking.
+        self.max_respawns = 2 * workers if max_respawns is None else max_respawns
+        self.respawns = 0
+        self._slots: list[Any] = []
+        self._ctx = _mp_context()
+
+    # subclass hook
+    def _make_slot(self, wid: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def start(self) -> None:
+        self._slots = [self._make_slot(wid) for wid in range(self.workers)]
+
+    def stop(self) -> None:
+        for slot in self._slots:
+            if slot is not None:
+                slot.shutdown()
+        self._slots = []
+
+    @property
+    def capacity(self) -> int:
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def idle(self) -> list[int]:
+        return [
+            slot.wid for slot in self._slots
+            if slot is not None and slot.cell_key is None
+        ]
+
+    def leases(self) -> list[LeaseView]:
+        return [
+            LeaseView(
+                wid=slot.wid, cell_key=slot.cell_key, attempt=slot.attempt,
+                started=slot.started, last_beat=slot.last_beat,
+            )
+            for slot in self._slots
+            if slot is not None and slot.cell_key is not None
+        ]
+
+    def dispatch(
+        self, wid: int, cell_key: str, fn: Callable, args: tuple,
+        kwargs: dict, attempt: int,
+    ) -> bool:
+        slot = self._slots[wid]
+        if slot is None:
+            return False
+        try:
+            slot.dispatch(cell_key, fn, args, kwargs, attempt)
+        except OSError:
+            # Idle slot found dead at dispatch: no attempt charged.
+            self._retire(slot)
+            return False
+        return True
+
+    def _retire(self, slot) -> tuple[str | None, int, int | None]:
+        """Drop a dead slot; returns (cell_key, attempt, exitcode)."""
+        cell_key, attempt = slot.cell_key, slot.attempt
+        exitcode = slot.process.exitcode
+        slot.cell_key = None
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        slot.process.join()
+        self._slots[slot.wid] = None
+        return cell_key, attempt, exitcode
+
+    def poll(self, timeout: float) -> list[Any]:
+        live = [slot for slot in self._slots if slot is not None]
+        if not live:
+            return []
+        events: list[Any] = []
+        waitables: list[Any] = [slot.conn for slot in live]
+        waitables += [slot.process.sentinel for slot in live]
+        ready = set(connection.wait(waitables, timeout=timeout))
+        for slot in live:
+            if slot.conn in ready:
+                while True:
+                    result = slot.handle_message()
+                    if result is None:
+                        cell_key, attempt, exitcode = self._retire(slot)
+                        events.append(
+                            WorkerDead(
+                                wid=slot.wid, exitcode=exitcode,
+                                cell_key=cell_key, attempt=attempt,
+                            )
+                        )
+                        break
+                    if result != "hb":
+                        events.append(result)
+                    if self._slots[slot.wid] is None or not slot.conn.poll():
+                        break
+            elif slot.process.sentinel in ready:
+                # Dead process; drain any result it managed to send.
+                if slot.conn.poll():
+                    result = slot.handle_message()
+                    if result is not None and result != "hb":
+                        events.append(result)
+                        continue
+                cell_key, attempt, exitcode = self._retire(slot)
+                events.append(
+                    WorkerDead(
+                        wid=slot.wid, exitcode=exitcode, cell_key=cell_key,
+                        attempt=attempt,
+                    )
+                )
+        return events
+
+    def reclaim(self, wid: int, reason: str) -> tuple[str | None, int]:
+        slot = self._slots[wid]
+        if slot is None:  # pragma: no cover - defensive
+            return None, 0
+        cell_key, attempt = slot.cell_key, slot.attempt
+        slot.cell_key = None
+        slot.kill()
+        self._slots[wid] = None
+        return cell_key, attempt
+
+    def ensure_capacity(self) -> int:
+        for wid, slot in enumerate(self._slots):
+            if slot is None and self.respawns < self.max_respawns:
+                self._slots[wid] = self._make_slot(wid)
+                self.respawns += 1
+        return self.capacity
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.workers} workers)"
+
+
+class LocalPoolExecutor(_ProcessExecutor):
+    """The harness's owned worker pool, presented as a campaign executor."""
+
+    name = "local"
+    heartbeats = False
+
+    def _make_slot(self, wid: int) -> _PoolSlot:
+        return _PoolSlot(self._ctx, wid)
+
+
+class SubprocessFleetExecutor(_ProcessExecutor):
+    """N independent workers with private cache shards and heartbeats.
+
+    The stand-in for a multi-host fleet: per-worker state isolation
+    (``shard_root/worker<wid>`` becomes the worker's ``JMMW_CACHE_DIR``;
+    traces are generated locally, never attached from a parent plane)
+    and heartbeat-based liveness, so a wedged worker is detected and
+    its lease reclaimed even while its process stays alive.
+    """
+
+    name = "fleet"
+    heartbeats = True
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        heartbeat_s: float = 0.2,
+        max_respawns: int | None = None,
+        shard_root: str | os.PathLike | None = None,
+    ) -> None:
+        super().__init__(workers, max_respawns=max_respawns)
+        if heartbeat_s <= 0:
+            raise ConfigError("heartbeat_s must be positive")
+        self.heartbeat_s = heartbeat_s
+        self._own_shard_root = shard_root is None
+        if shard_root is None:
+            import tempfile
+
+            shard_root = tempfile.mkdtemp(prefix="jmmw-fleet-")
+        self.shard_root = os.fspath(shard_root)
+
+    def _make_slot(self, wid: int) -> _FleetSlot:
+        shard = os.path.join(self.shard_root, f"worker{wid}")
+        os.makedirs(shard, exist_ok=True)
+        return _FleetSlot(
+            self._ctx, wid, self.heartbeat_s, env={"JMMW_CACHE_DIR": shard}
+        )
+
+    def stop(self) -> None:
+        super().stop()
+        if self._own_shard_root:
+            import shutil
+
+            shutil.rmtree(self.shard_root, ignore_errors=True)

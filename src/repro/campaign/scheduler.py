@@ -1,0 +1,522 @@
+"""The fault-tolerant campaign scheduler.
+
+Expands a :class:`~repro.campaign.table.CampaignSpec` into cells and
+drives them over a pluggable :class:`~repro.campaign.executor.Executor`
+with the resilience a real fleet needs:
+
+- **lease-based ownership** — every dispatched cell is a lease
+  (worker, start time, last heartbeat); a lease silent past
+  ``lease_timeout_s`` (heartbeat executors) or running past the
+  per-cell wall-clock budget is *reclaimed*: the worker is killed,
+  the slot respawned within budget, the cell rescheduled;
+- **bounded retry with jittered backoff** — failures retry under the
+  :class:`~repro.harness.faults.FaultPolicy` attempt budget, delayed
+  by its capped, deterministically-jittered exponential backoff
+  (retries wait in a ready-time heap, they never block the loop);
+- **poisoned-cell quarantine** — a cell that kills ``poison_k``
+  consecutive workers (death or lease reclaim; a survivable in-task
+  error resets the streak) is marked ``poisoned`` with its last
+  diagnostics instead of taking the whole fleet down with it;
+- **straggler speculation** — a lease running past
+  ``straggler_factor`` x the median completed-cell wall time (at
+  least ``straggler_min_s``) gets a speculative duplicate on an idle
+  worker; the first result wins, and if the loser eventually returns
+  *different bits*, the divergence is flagged loudly (telemetry
+  ``campaign/divergent`` + the outcome) — nondeterminism must never
+  pass silently;
+- **graceful degradation** — when the executor's respawn budget is
+  exhausted and capacity reaches zero, remaining cells are marked
+  ``missing`` with the reason, and the campaign returns a partial
+  result instead of hanging.
+
+Resumability rides the PR-3 manifest machinery generalized to any run
+table: completed cells are journaled as they land (fsynced), keyed by
+the campaign signature, and a re-run serves them back bit-identically.
+``interruptible=True`` drains in-flight cells on SIGINT/SIGTERM and
+raises :class:`~repro.errors.CampaignInterrupted`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import statistics
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.campaign.executor import CellDone, Executor, WorkerDead
+from repro.campaign.table import CampaignSpec, Cell
+from repro.errors import CampaignInterrupted, ConfigError
+from repro.harness.faults import FaultPolicy
+from repro.harness.runner import TaskOutcome, _absorb_observations, _InterruptDrain
+from repro.harness.faults import TaskFailure
+from repro.harness.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.checkpoint import CampaignManifest
+
+#: Cell outcome statuses.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"  # in-task errors exhausted the retry budget
+STATUS_POISONED = "poisoned"  # killed poison_k consecutive workers
+STATUS_MISSING = "missing"  # never completed: executor degraded away
+
+
+@dataclass(frozen=True)
+class CampaignPolicy:
+    """Resilience knobs for one campaign run.
+
+    ``faults`` supplies the retry budget, backoff shape and per-cell
+    wall-clock timeout shared with the harness runner.  The campaign
+    defaults retry twice with capped jittered backoff — campaigns are
+    long; a transient fault must not cost a cell.
+    """
+
+    faults: FaultPolicy = field(
+        default_factory=lambda: FaultPolicy(
+            max_attempts=3, backoff_s=0.05, backoff_factor=2.0,
+            backoff_max_s=2.0, jitter=0.5,
+        )
+    )
+    #: Heartbeat silence (s) after which a lease is reclaimed by force
+    #: (heartbeat executors only).
+    lease_timeout_s: float = 10.0
+    #: Consecutive worker kills that quarantine a cell.
+    poison_k: int = 2
+    #: Speculative re-execution of stragglers (first result wins).
+    speculate: bool = True
+    straggler_factor: float = 4.0
+    straggler_min_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lease_timeout_s <= 0:
+            raise ConfigError("lease_timeout_s must be positive")
+        if self.poison_k < 1:
+            raise ConfigError("poison_k must be at least 1")
+        if self.straggler_factor <= 1.0:
+            raise ConfigError("straggler_factor must be > 1")
+        if self.straggler_min_s < 0:
+            raise ConfigError("straggler_min_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What finally happened to one cell of the run table."""
+
+    cell: Cell
+    status: str
+    value: object = None
+    error: str = ""
+    attempts: int = 0
+    wall_s: float = 0.0
+    worker: int | None = None
+    cached: bool = False  # served from the manifest (resume)
+    divergent: bool = False  # a speculative duplicate returned different bits
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Every cell's outcome, in table order, plus degradation facts."""
+
+    spec: CampaignSpec
+    outcomes: tuple
+    executor_desc: str
+
+    def by_status(self, status: str) -> list[CellOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.status == status]
+
+    @property
+    def complete(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def degraded(self) -> bool:
+        return not self.complete
+
+
+def _value_digest(value: object) -> bytes:
+    """Bit-identity fingerprint for speculative-result comparison."""
+    import hashlib
+
+    return hashlib.sha256(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).digest()
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    executor: Executor,
+    *,
+    policy: CampaignPolicy | None = None,
+    telemetry: Telemetry | None = None,
+    manifest: "CampaignManifest | None" = None,
+    interruptible: bool = False,
+) -> CampaignResult:
+    """Run every cell of ``spec`` over ``executor``; never raises for a
+    cell — failures, quarantines and degradation land in the result.
+
+    Raises :class:`CampaignInterrupted` after a drained SIGINT/SIGTERM
+    (``interruptible=True`` only), with completed cells already
+    persisted to ``manifest``.
+    """
+    policy = policy if policy is not None else CampaignPolicy()
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    faults = policy.faults
+    cells = spec.table.cells()
+    cells_by_key = {cell.key: cell for cell in cells}
+    completed: dict[str, CellOutcome] = {}
+    digests: dict[str, bytes] = {}
+
+    telemetry.emit(
+        "campaign/start", campaign=spec.name, cells=len(cells),
+        executor=executor.describe(),
+    )
+    obs.incr("campaign/cells_total", len(cells))
+
+    # -- resume: serve cells the manifest already holds ---------------------
+    for cell in cells:
+        if manifest is None:
+            break
+        hit, value = manifest.lookup(cell.key)
+        if hit:
+            telemetry.emit("campaign/resume-skip", cell=cell.key)
+            obs.incr("campaign/cells_resumed")
+            completed[cell.key] = CellOutcome(
+                cell=cell, status=STATUS_OK, value=value, cached=True
+            )
+            digests[cell.key] = _value_digest(value)
+
+    queue: deque[tuple[Cell, int]] = deque(
+        (cell, 1) for cell in cells if cell.key not in completed
+    )
+    delayed: list[tuple[float, int, Cell, int]] = []  # (ready_t, seq, cell, attempt)
+    seq = 0
+    kills: dict[str, int] = {}  # consecutive worker kills per cell
+    attempts: dict[str, int] = {}  # highest attempt dispatched per cell
+    speculated: set[str] = set()  # cells already given a duplicate
+    wall_samples: list[float] = []  # completed-cell wall times
+
+    def record(outcome: CellOutcome) -> None:
+        completed[outcome.cell.key] = outcome
+        kills.pop(outcome.cell.key, None)
+        counter = {
+            STATUS_OK: "campaign/cells_ok",
+            STATUS_FAILED: "campaign/cells_failed",
+            STATUS_POISONED: "campaign/cells_poisoned",
+            STATUS_MISSING: "campaign/cells_missing",
+        }[outcome.status]
+        obs.incr(counter)
+        telemetry.incr(counter)
+        if manifest is not None:
+            if outcome.ok:
+                task_outcome = TaskOutcome(
+                    key=outcome.cell.key, value=outcome.value,
+                    wall_s=outcome.wall_s, attempts=outcome.attempts,
+                )
+            else:
+                task_outcome = TaskOutcome(
+                    key=outcome.cell.key,
+                    failure=TaskFailure(
+                        key=outcome.cell.key, kind=outcome.status,
+                        error=outcome.error, attempts=outcome.attempts,
+                    ),
+                    attempts=outcome.attempts,
+                )
+            manifest.record(outcome.cell.key, task_outcome)
+
+    def has_live_lease(cell_key: str) -> bool:
+        return any(lease.cell_key == cell_key for lease in executor.leases())
+
+    def schedule_retry(cell: Cell, attempt: int) -> None:
+        nonlocal seq
+        telemetry.emit("campaign/cell-retry", cell=cell.key, attempt=attempt)
+        obs.incr("campaign/retries")
+        ready = time.monotonic() + faults.delay(attempt, key=cell.key)
+        seq += 1
+        heapq.heappush(delayed, (ready, seq, cell, attempt + 1))
+
+    def fail_or_retry(cell: Cell, attempt: int, kind: str, error: str) -> None:
+        """A non-kill failure: retry under the budget or record it."""
+        if cell.key in completed or has_live_lease(cell.key):
+            return  # a duplicate is still running, or the cell already won
+        if faults.retryable(kind) and faults.should_retry(attempt):
+            schedule_retry(cell, attempt)
+            return
+        record(
+            CellOutcome(
+                cell=cell, status=STATUS_FAILED, error=f"{kind}: {error}",
+                attempts=attempt,
+            )
+        )
+
+    def worker_killed(cell: Cell, attempt: int, diagnostics: str) -> None:
+        """A kill-type failure (worker death / lease reclaim) for a cell."""
+        if cell.key in completed or has_live_lease(cell.key):
+            return
+        kills[cell.key] = kills.get(cell.key, 0) + 1
+        if kills[cell.key] >= policy.poison_k:
+            telemetry.emit(
+                "campaign/cell-poisoned", cell=cell.key,
+                kills=kills[cell.key], diagnostics=diagnostics,
+            )
+            record(
+                CellOutcome(
+                    cell=cell, status=STATUS_POISONED,
+                    error=(
+                        f"quarantined: killed {kills[cell.key]} consecutive "
+                        f"worker(s); last: {diagnostics}"
+                    ),
+                    attempts=attempt,
+                )
+            )
+            return
+        if faults.should_retry(attempt):
+            schedule_retry(cell, attempt)
+            return
+        record(
+            CellOutcome(
+                cell=cell, status=STATUS_FAILED,
+                error=f"broken-worker: {diagnostics}", attempts=attempt,
+            )
+        )
+
+    def handle_done(event: CellDone) -> None:
+        _absorb_observations(event.obs_payload, telemetry)
+        cell = cells_by_key[event.cell_key]
+        if event.cell_key in completed:
+            # A speculative loser (or a late duplicate) came back after
+            # the cell already completed: its only job now is to agree.
+            winner = completed[event.cell_key]
+            if event.ok and winner.ok:
+                if _value_digest(event.value) != digests[event.cell_key]:
+                    telemetry.emit(
+                        "campaign/divergent", cell=event.cell_key,
+                        winner_worker=winner.worker, loser_worker=event.wid,
+                    )
+                    obs.incr("campaign/divergent")
+                    completed[event.cell_key] = replace(winner, divergent=True)
+            return
+        if event.ok:
+            telemetry.emit(
+                "campaign/cell-ok", cell=event.cell_key,
+                attempt=event.attempt, wall_s=round(event.wall_s, 6),
+                worker=event.wid,
+            )
+            wall_samples.append(event.wall_s)
+            digests[event.cell_key] = _value_digest(event.value)
+            record(
+                CellOutcome(
+                    cell=cell, status=STATUS_OK, value=event.value,
+                    attempts=event.attempt, wall_s=event.wall_s,
+                    worker=event.wid,
+                )
+            )
+            return
+        telemetry.emit(
+            "campaign/cell-error", cell=event.cell_key,
+            attempt=event.attempt, error=event.error,
+        )
+        kills.pop(event.cell_key, None)  # the worker survived: streak broken
+        fail_or_retry(cell, event.attempt, "error", event.error)
+
+    drain = _InterruptDrain() if interruptible else None
+    executor.start()
+    try:
+        if drain is not None:
+            drain.__enter__()
+        complete_at: float | None = None
+        while True:
+            if len(completed) >= len(cells):
+                # All cells decided.  Speculative losers may still be
+                # running; wait (bounded) so divergence is *observed*,
+                # not silently discarded with the worker.
+                if not executor.leases():
+                    break
+                if complete_at is None:
+                    complete_at = time.monotonic()
+                elif time.monotonic() - complete_at > policy.lease_timeout_s:
+                    for lease in executor.leases():
+                        executor.reclaim(
+                            lease.wid, "campaign complete; duplicate abandoned"
+                        )
+                        telemetry.emit(
+                            "campaign/duplicate-abandoned",
+                            cell=lease.cell_key, worker=lease.wid,
+                        )
+                    break
+            now = time.monotonic()
+            stopping = drain is not None and drain.requested
+            while delayed and delayed[0][0] <= now:
+                _, _, cell, attempt = heapq.heappop(delayed)
+                if cell.key not in completed:
+                    queue.append((cell, attempt))
+
+            if not stopping:
+                idle = executor.idle()
+                while idle and queue:
+                    cell, attempt = queue.popleft()
+                    if cell.key in completed:
+                        continue
+                    wid = idle.pop(0)
+                    args, kwargs = spec.cell_args(cell)
+                    telemetry.emit(
+                        "campaign/cell-start", cell=cell.key,
+                        attempt=attempt, worker=wid,
+                    )
+                    attempts[cell.key] = max(attempts.get(cell.key, 0), attempt)
+                    if not executor.dispatch(
+                        wid, cell.key, spec.fn, args, kwargs, attempt
+                    ):
+                        queue.appendleft((cell, attempt))  # slot was dead
+                        idle = executor.idle()
+                # Straggler speculation: spend leftover idle slots on
+                # duplicates of the oldest over-threshold leases.
+                if policy.speculate and idle and not queue and wall_samples:
+                    threshold = max(
+                        policy.straggler_min_s,
+                        policy.straggler_factor * statistics.median(wall_samples),
+                    )
+                    for lease in sorted(executor.leases(), key=lambda l: l.started):
+                        if not idle:
+                            break
+                        if (
+                            lease.cell_key in speculated
+                            or now - lease.started <= threshold
+                        ):
+                            continue
+                        cell = cells_by_key[lease.cell_key]
+                        wid = idle.pop(0)
+                        speculated.add(cell.key)
+                        telemetry.emit(
+                            "campaign/speculate", cell=cell.key,
+                            straggler_worker=lease.wid, duplicate_worker=wid,
+                        )
+                        obs.incr("campaign/speculative")
+                        args, kwargs = spec.cell_args(cell)
+                        executor.dispatch(
+                            wid, cell.key, spec.fn, args, kwargs, lease.attempt
+                        )
+
+            if executor.leases() or (not stopping and (queue or delayed)):
+                tick = 0.05
+            else:
+                tick = 0.0
+            for event in executor.poll(tick):
+                if isinstance(event, CellDone):
+                    handle_done(event)
+                elif isinstance(event, WorkerDead):
+                    telemetry.emit(
+                        "campaign/worker-dead", worker=event.wid,
+                        exitcode=event.exitcode, cell=event.cell_key,
+                    )
+                    obs.incr("campaign/worker_deaths")
+                    if event.cell_key is not None:
+                        worker_killed(
+                            cells_by_key[event.cell_key], event.attempt,
+                            f"worker {event.wid} died (exit code {event.exitcode})",
+                        )
+
+            # Lease audit: reclaim wedged and over-budget workers.
+            now = time.monotonic()
+            for lease in executor.leases():
+                expired_reason = None
+                kind = None
+                if (
+                    executor.heartbeats
+                    and lease.last_beat is not None
+                    and now - lease.last_beat > policy.lease_timeout_s
+                ):
+                    expired_reason = (
+                        f"no heartbeat for {policy.lease_timeout_s}s "
+                        f"(worker {lease.wid} wedged)"
+                    )
+                    kind = "stall"
+                elif (
+                    faults.timeout_s is not None
+                    and now - lease.started > faults.timeout_s
+                ):
+                    expired_reason = (
+                        f"exceeded {faults.timeout_s}s budget (worker killed)"
+                    )
+                    kind = "timeout"
+                if expired_reason is None:
+                    continue
+                cell_key, attempt = executor.reclaim(lease.wid, expired_reason)
+                telemetry.emit(
+                    "campaign/lease-reclaimed", cell=cell_key,
+                    worker=lease.wid, reason=expired_reason,
+                )
+                obs.incr("campaign/lease_reclaims")
+                if cell_key is None:  # pragma: no cover - raced completion
+                    continue
+                cell = cells_by_key[cell_key]
+                if kind == "timeout" and not faults.retry_timeouts:
+                    if cell_key not in completed and not has_live_lease(cell_key):
+                        record(
+                            CellOutcome(
+                                cell=cell, status=STATUS_FAILED,
+                                error=f"timeout: {expired_reason}",
+                                attempts=attempt,
+                            )
+                        )
+                    continue
+                worker_killed(cell, attempt, expired_reason)
+
+            # Degradation: no workers left and none coming back.
+            if executor.ensure_capacity() == 0:
+                remaining = [
+                    cell for cell in cells if cell.key not in completed
+                ]
+                for cell in remaining:
+                    telemetry.emit("campaign/cell-missing", cell=cell.key)
+                    record(
+                        CellOutcome(
+                            cell=cell, status=STATUS_MISSING,
+                            error=(
+                                "not run: no surviving workers (executor "
+                                "respawn budget exhausted)"
+                            ),
+                            attempts=attempts.get(cell.key, 0),
+                        )
+                    )
+                if remaining:
+                    telemetry.emit(
+                        "campaign/degraded", missing=len(remaining),
+                        executor=executor.describe(),
+                    )
+                break
+
+            if stopping and not executor.leases():
+                break
+    finally:
+        if drain is not None:
+            drain.__exit__(None, None, None)
+        executor.stop()
+
+    if len(completed) < len(cells):
+        remaining = tuple(
+            cell.key for cell in cells if cell.key not in completed
+        )
+        telemetry.emit(
+            "campaign/interrupted", completed=len(completed),
+            remaining=len(remaining),
+        )
+        raise CampaignInterrupted(len(completed), remaining)
+
+    telemetry.emit(
+        "campaign/end", campaign=spec.name,
+        ok=sum(1 for o in completed.values() if o.ok),
+        cells=len(cells),
+    )
+    return CampaignResult(
+        spec=spec,
+        outcomes=tuple(completed[cell.key] for cell in cells),
+        executor_desc=executor.describe(),
+    )

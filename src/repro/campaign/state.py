@@ -1,0 +1,135 @@
+"""On-disk campaign state: journal locations and read-only loading.
+
+The scheduler persists through :class:`repro.harness.checkpoint.
+CampaignManifest` (JSONL journal + checksummed result store).  This
+module adds the *read-only* side the ``jmmw campaign status|report``
+subcommands need: parse a journal without opening it for writing.
+That matters because :meth:`CampaignManifest.open_resume` **truncates**
+a journal whose signature mismatches — a status query must never be
+able to destroy state, so it goes through :func:`read_journal` instead.
+
+Journals live under ``<cache dir>/campaigns/<study>.jsonl`` (honouring
+``JMMW_CACHE_DIR``), one per named study, alongside their ``.store``
+result sidecars.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.campaign.scheduler import (
+    STATUS_FAILED,
+    STATUS_MISSING,
+    STATUS_OK,
+    STATUS_POISONED,
+    CampaignResult,
+    CellOutcome,
+)
+from repro.campaign.table import CampaignSpec
+from repro.harness.cache import ResultCache, default_cache_dir
+
+#: Read-only status for a cell the journal has no final record for.
+STATUS_PENDING = "pending"
+
+
+def campaign_root() -> Path:
+    """Directory holding every study's journal and result store."""
+    return default_cache_dir() / "campaigns"
+
+
+def journal_path(study: str) -> Path:
+    return campaign_root() / f"{study}.jsonl"
+
+
+def read_journal(path: str | Path) -> tuple[str | None, dict[str, dict]]:
+    """``(signature, {cell_key: last record})`` from a journal, read-only.
+
+    Mirrors the manifest's own loader: blank lines skipped, a torn
+    final line (writer died mid-append) ends the parse, the last record
+    per key wins.  Returns ``(None, {})`` for a missing or headerless
+    journal.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return None, {}
+    records = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            break
+    if not records or "campaign" not in records[0]:
+        return None, {}
+    signature = records[0]["campaign"]
+    by_key: dict[str, dict] = {}
+    for record in records[1:]:
+        key = record.get("task")
+        if isinstance(key, str):
+            by_key[key] = record
+    return signature, by_key
+
+
+def result_from_journal(
+    spec: CampaignSpec, path: str | Path | None = None
+) -> CampaignResult:
+    """Rebuild a :class:`CampaignResult` from a journal, without running.
+
+    Cells with no final record yet are ``pending``; journalled failures
+    keep their recorded status (``failed`` / ``poisoned`` / ``missing``);
+    ok cells are loaded back from the result store so the report's
+    mean ± std tables match the live run's exactly.
+    """
+    path = Path(path) if path is not None else journal_path(spec.name)
+    signature, by_key = read_journal(path)
+    store = ResultCache(path.with_suffix(".store")) if signature else None
+    outcomes = []
+    for cell in spec.table.cells():
+        record = by_key.get(cell.key)
+        if record is None:
+            outcomes.append(
+                CellOutcome(
+                    cell=cell, status=STATUS_PENDING,
+                    error="no result journalled yet (campaign incomplete?)",
+                )
+            )
+            continue
+        attempts = int(record.get("attempts") or 0)
+        if record.get("status") == "ok":
+            hit, value = (False, None)
+            ref = record.get("ref")
+            if store is not None and isinstance(ref, str):
+                hit, value = store.get(ref)
+            if hit:
+                outcomes.append(
+                    CellOutcome(
+                        cell=cell, status=STATUS_OK, value=value,
+                        attempts=attempts, cached=True,
+                    )
+                )
+            else:
+                outcomes.append(
+                    CellOutcome(
+                        cell=cell, status=STATUS_PENDING,
+                        error="journalled ok but result store entry is gone",
+                        attempts=attempts,
+                    )
+                )
+            continue
+        kind = record.get("kind") or STATUS_FAILED
+        status = kind if kind in (STATUS_POISONED, STATUS_MISSING) else STATUS_FAILED
+        outcomes.append(
+            CellOutcome(
+                cell=cell, status=status,
+                error=str(record.get("error") or ""), attempts=attempts,
+            )
+        )
+    desc = "(from journal)" if signature else "(no journal found)"
+    return CampaignResult(
+        spec=spec, outcomes=tuple(outcomes), executor_desc=desc
+    )

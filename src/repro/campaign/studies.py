@@ -1,0 +1,108 @@
+"""Named studies: the run tables the CLI knows how to campaign over.
+
+A *study* is a registered :class:`~repro.campaign.table.CampaignSpec`
+factory — ``jmmw campaign run <study>`` looks the name up here.  Cell
+functions are module-level (workers import them by reference) and pure
+given their arguments, so every executor produces bit-identical cells.
+
+Two studies ship:
+
+- ``smoke`` — arithmetic only, milliseconds per cell; exists so the
+  campaign machinery (scheduling, resume, chaos, CLI exit codes) can
+  be exercised without simulating anything;
+- ``ablation`` — the paper's protocol x workload ablation matrix
+  (Section 4): MOSI vs MSI coherence over ECperf and SPECjbb, each
+  point repeated with perturbed seeds per the Alameldeen–Wood
+  variability methodology, reporting machine-wide data MPKI,
+  cache-to-cache transfer ratio and absolute L2 misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+from repro.campaign.table import Axis, CampaignSpec, RunTable
+from repro.errors import ConfigError
+
+
+def smoke_cell(point: dict, rep: int, *, scale: int = 1) -> dict:
+    """Deterministic arithmetic on the point — no simulation at all."""
+    digest = hashlib.sha256(
+        f"{sorted(point.items())}/{rep}/{scale}".encode()
+    ).digest()
+    base = int.from_bytes(digest[:8], "little") / 2**64
+    return {"value": base * scale, "rep": float(rep)}
+
+
+def ablation_cell(
+    point: dict, rep: int, *, n_procs: int = 2, refs: int = 20_000
+) -> dict:
+    """One protocol x workload cell: simulate and report paper metrics.
+
+    The rep index perturbs the trace seed (not the configuration), so
+    repetitions sample the workload's intrinsic variability exactly the
+    way ``characterize --runs N`` does.
+    """
+    from repro.figures.common import QUICK_SIM, simulate_multiprocessor, workload_for_procs
+
+    sim = replace(QUICK_SIM, seed=QUICK_SIM.seed + rep, refs_per_proc=refs)
+    workload = workload_for_procs(point["workload"], n_procs)
+    hierarchy = simulate_multiprocessor(
+        workload, n_procs, sim, protocol=point["protocol"]
+    )
+    return {
+        "data_mpki": hierarchy.data_mpki(),
+        "c2c_ratio": hierarchy.c2c_ratio(),
+        "l2_misses": float(hierarchy.total_l2_misses),
+    }
+
+
+def _smoke_spec(reps: int, quick: bool) -> CampaignSpec:
+    return CampaignSpec(
+        name="smoke",
+        table=RunTable(
+            name="smoke",
+            axes=(
+                Axis("alpha", (1, 2, 3)),
+                Axis("beta", ("x", "y")),
+            ),
+            reps=reps,
+        ),
+        fn=smoke_cell,
+        kwargs={"scale": 10},
+    )
+
+
+def _ablation_spec(reps: int, quick: bool) -> CampaignSpec:
+    return CampaignSpec(
+        name="ablation",
+        table=RunTable(
+            name="ablation",
+            axes=(
+                Axis("protocol", ("mosi", "msi")),
+                Axis("workload", ("ecperf", "specjbb")),
+            ),
+            reps=reps,
+        ),
+        fn=ablation_cell,
+        kwargs={"n_procs": 2, "refs": 6_000 if quick else 20_000},
+    )
+
+
+#: study name -> factory(reps, quick) -> CampaignSpec
+STUDIES = {
+    "smoke": _smoke_spec,
+    "ablation": _ablation_spec,
+}
+
+
+def get_study(name: str, *, reps: int = 2, quick: bool = False) -> CampaignSpec:
+    """Resolve a registered study to a concrete campaign spec."""
+    factory = STUDIES.get(name)
+    if factory is None:
+        known = ", ".join(sorted(STUDIES))
+        raise ConfigError(f"unknown study {name!r} (known: {known})")
+    if reps < 1:
+        raise ConfigError("reps must be at least 1")
+    return factory(reps, quick)

@@ -14,7 +14,18 @@ Subcommands::
                                        on regression vs the prior BENCH_*.json
     jmmw diffcheck [IDS...] [--refs N]  differentially validate the simulators
                                        against brute-force reference oracles
+    jmmw campaign run STUDY [--executor serial|local|fleet] [--jobs N]
+                 [--reps R] [--quick] [--resume] ...
+                                       run a named study's run table over a
+                                       fault-tolerant executor fleet
+    jmmw campaign status STUDY         cell-level progress from the journal
+    jmmw campaign report STUDY         mean ± std report from the journal
     jmmw info                          inventory: machine, workloads, figures
+
+Campaign exit codes: 0 when every cell completed, 4 when the campaign
+finished but degraded (failed, quarantined or missing cells — the
+report says exactly which and why), 130 after a drained interrupt
+(rerun with ``--resume``), 2 for usage errors.
 
 Observability: ``--obs`` (or ``JMMW_OBS=1``) turns on the span/counter
 instrumentation in :mod:`repro.obs` — timed pipeline spans and
@@ -406,6 +417,139 @@ def cmd_diffcheck(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit code for a campaign that finished but with degraded results.
+EXIT_PARTIAL_CAMPAIGN = 4
+
+
+def _make_campaign_executor(args: argparse.Namespace):
+    from repro.campaign import (
+        LocalPoolExecutor,
+        SerialExecutor,
+        SubprocessFleetExecutor,
+    )
+
+    if args.executor == "serial":
+        return SerialExecutor()
+    if args.executor == "local":
+        return LocalPoolExecutor(args.jobs, max_respawns=args.max_respawns)
+    return SubprocessFleetExecutor(args.jobs, max_respawns=args.max_respawns)
+
+
+def _campaign_spec(args: argparse.Namespace):
+    """Resolve the study; prints and exits 2 for an unknown name."""
+    from repro.campaign.studies import get_study
+    from repro.errors import ConfigError
+
+    try:
+        return get_study(args.study, reps=args.reps, quick=args.quick)
+    except ConfigError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Run a study's full run table; exit 0 only when every cell is ok."""
+    from repro.campaign import CampaignPolicy, run_campaign
+    from repro.campaign.report import render
+    from repro.campaign.state import journal_path
+    from repro.errors import CampaignInterrupted, ConfigError
+    from repro.harness import CampaignManifest, FaultPolicy, Telemetry
+
+    spec = _campaign_spec(args)
+    _apply_env_flags(args)
+    try:
+        policy = CampaignPolicy(
+            faults=FaultPolicy(
+                timeout_s=args.timeout,
+                max_attempts=args.max_attempts,
+                backoff_s=0.05,
+                backoff_max_s=2.0,
+                jitter=0.5,
+                retry_timeouts=args.retry_timeouts,
+            ),
+            lease_timeout_s=args.lease_timeout,
+            poison_k=args.poison_k,
+            speculate=not args.no_speculate,
+        )
+        executor = _make_campaign_executor(args)
+    except ConfigError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    try:
+        telemetry = Telemetry(args.trace)
+    except OSError as exc:
+        print(f"cannot open trace file {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    path = journal_path(args.study)
+    signature = spec.signature()
+    if args.resume:
+        manifest = CampaignManifest.open_resume(path, signature)
+        if manifest.resumed and manifest.completed:
+            print(
+                f"resuming campaign: {len(manifest.completed)} cell(s) "
+                f"already complete",
+                file=sys.stderr,
+            )
+    else:
+        manifest = CampaignManifest.open_fresh(path, signature)
+    try:
+        result = run_campaign(
+            spec, executor, policy=policy, telemetry=telemetry,
+            manifest=manifest, interruptible=True,
+        )
+    except CampaignInterrupted as interrupt:
+        return _finish_interrupted(interrupt, manifest, telemetry)
+    print(render(result))
+    print(telemetry.render_summary(), file=sys.stderr)
+    _finish_obs()
+    telemetry.close()
+    manifest.close()
+    return 0 if result.complete else EXIT_PARTIAL_CAMPAIGN
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Cell-level progress, read-only from the journal (never truncates)."""
+    from collections import Counter
+
+    from repro.campaign.state import journal_path, read_journal, result_from_journal
+
+    spec = _campaign_spec(args)
+    path = journal_path(args.study)
+    signature, _ = read_journal(path)
+    result = result_from_journal(spec, path)
+    counts = Counter(outcome.status for outcome in result.outcomes)
+    print(f"campaign {spec.name!r}: {spec.table.shape()}")
+    print(f"journal: {path}")
+    if signature is None:
+        print("signature: (no journal; run `jmmw campaign run` first)")
+    elif signature == spec.signature():
+        print("signature: match (resumable)")
+    else:
+        print(
+            "signature: MISMATCH (different code version, reps or config; "
+            "a run without --resume will start fresh)"
+        )
+    print(
+        "cells: "
+        + ", ".join(
+            f"{counts.get(status, 0)} {status}"
+            for status in ("ok", "failed", "poisoned", "missing", "pending")
+        )
+    )
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    """Render the full report from the journal; exit 4 unless complete."""
+    from repro.campaign.report import render
+    from repro.campaign.state import journal_path, result_from_journal
+
+    spec = _campaign_spec(args)
+    result = result_from_journal(spec, journal_path(args.study))
+    print(render(result))
+    return 0 if result.complete else EXIT_PARTIAL_CAMPAIGN
+
+
 def cmd_info(_: argparse.Namespace) -> int:
     """Print the modeled system inventory."""
     print("Reproduction of 'Memory System Behavior of Java-Based Middleware'")
@@ -538,6 +682,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fastpath", action="store_true", help=argparse.SUPPRESS
     )
     diffcheck.set_defaults(fn=cmd_diffcheck, obs=None, check_invariants=False)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="fault-tolerant run-table campaigns over an executor fleet",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_study_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "study", help="registered study name (e.g. smoke, ablation)"
+        )
+        sub_parser.add_argument(
+            "--reps", type=int, default=2, metavar="R",
+            help="repetitions per table point (default 2); part of the "
+            "campaign signature, so status/report need the same value",
+        )
+        sub_parser.add_argument(
+            "--quick", action="store_true",
+            help="reduced per-cell simulation effort (also in the signature)",
+        )
+
+    run = campaign_sub.add_parser("run", help="run a study's full run table")
+    _add_study_flags(run)
+    run.add_argument(
+        "--executor", choices=["serial", "local", "fleet"], default="fleet",
+        help="execution backend (default fleet; results are "
+        "bit-identical across all three)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker slots for local/fleet executors (default 2)",
+    )
+    run.add_argument(
+        "--max-respawns", type=int, default=None, metavar="N",
+        help="dead-worker respawn budget before the campaign degrades "
+        "(default 2x jobs)",
+    )
+    run.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="per-cell attempt budget (default 3)",
+    )
+    run.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-cell wall-clock budget in seconds (default none)",
+    )
+    run.add_argument(
+        "--retry-timeouts", action="store_true",
+        help="retry timed-out cells under the attempt budget",
+    )
+    run.add_argument(
+        "--lease-timeout", type=float, default=10.0, metavar="S",
+        help="heartbeat silence before a fleet lease is reclaimed "
+        "(default 10)",
+    )
+    run.add_argument(
+        "--poison-k", type=int, default=2, metavar="K",
+        help="consecutive worker kills that quarantine a cell (default 2)",
+    )
+    run.add_argument(
+        "--no-speculate", action="store_true",
+        help="disable speculative re-execution of stragglers",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="continue from the study's journal; completed cells are "
+        "served back bit-identically",
+    )
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a JSONL campaign event trace to PATH")
+    run.add_argument(
+        "--no-fastpath", action="store_true", help=argparse.SUPPRESS
+    )
+    run.add_argument(
+        "--obs", nargs="?", const="", default=None, metavar="PATH",
+        help="record observability counters (summary on stderr)",
+    )
+    run.set_defaults(fn=cmd_campaign_run, check_invariants=False)
+
+    status = campaign_sub.add_parser(
+        "status", help="cell-level progress from the journal (read-only)"
+    )
+    _add_study_flags(status)
+    status.set_defaults(fn=cmd_campaign_status)
+
+    report = campaign_sub.add_parser(
+        "report", help="mean ± std report from the journal (read-only)"
+    )
+    _add_study_flags(report)
+    report.set_defaults(fn=cmd_campaign_report)
 
     info = sub.add_parser("info", help="show the modeled system inventory")
     info.set_defaults(fn=cmd_info)

@@ -98,6 +98,66 @@ def error_task(root: str, name: str, value: Any, error_attempts: int = 1) -> Any
     return value
 
 
+# -- campaign-level injectors ---------------------------------------------
+#
+# These wrap a campaign cell function with a scripted fleet failure:
+# the wrapped call computes the *same value* the clean call would (or
+# never returns at all), so a chaos-ridden campaign's surviving cells
+# stay bit-identical to a clean run's.
+
+
+def kill_executor(
+    root: str, name: str, value: Any, kill_attempts: int = 1
+) -> Any:
+    """Kill the whole executor worker mid-cell, ``kill_attempts`` times.
+
+    Campaign-flavoured :func:`crash_task`: the scheduler must see a
+    ``WorkerDead`` event carrying this cell's lease, reschedule the
+    cell, and respawn the slot within the respawn budget.
+    """
+    if take_ticket(root, name) < kill_attempts:
+        os._exit(23)
+    return value
+
+
+def stall_heartbeat(
+    root: str, name: str, value: Any, stall_s: float = 60.0,
+    stall_attempts: int = 1,
+) -> Any:
+    """Silence this fleet worker's heartbeats, then hang inside the cell.
+
+    The wedged-remote-host failure: the process stays alive and holds
+    its lease, but stops proving it.  The scheduler must notice the
+    heartbeat silence, reclaim the lease by force (killing the worker)
+    and reschedule the cell.  On a non-fleet executor (no heartbeat
+    hook) this degrades to a plain :func:`hang_task`, caught by the
+    wall-clock budget instead.
+    """
+    if take_ticket(root, name) < stall_attempts:
+        try:
+            from repro.campaign.fleet import stall_heartbeats
+
+            stall_heartbeats()
+        except ImportError:  # pragma: no cover - campaign not installed
+            pass
+        time.sleep(stall_s)
+    return value
+
+
+def poison_cell(root: str, name: str, value: Any) -> Any:
+    """Kill the worker on *every* attempt: the cell is truly poisoned.
+
+    Unlike :func:`kill_executor` this never relents, so after
+    ``poison_k`` consecutive worker deaths the scheduler must
+    quarantine the cell with diagnostics instead of burning the whole
+    respawn budget on it.  ``value`` is never returned; it exists so
+    the wrapped cell keeps the clean cell's signature.
+    """
+    take_ticket(root, name)  # keep the attempt count observable
+    os._exit(23)
+    return value  # pragma: no cover - unreachable
+
+
 #: Supported cache-corruption modes.
 CORRUPTION_MODES = ("truncate", "flip", "garbage", "empty")
 

@@ -511,7 +511,7 @@ def _run_one_serial(task: Task, telemetry: Telemetry, faults: FaultPolicy) -> Ta
             )
             if faults.should_retry(attempt):
                 telemetry.emit("task/retry", task=task.key, attempt=attempt)
-                time.sleep(faults.delay(attempt))
+                time.sleep(faults.delay(attempt, key=task.key))
                 continue
             return TaskOutcome(
                 key=task.key,
@@ -522,6 +522,28 @@ def _run_one_serial(task: Task, telemetry: Telemetry, faults: FaultPolicy) -> Ta
             )
         _merge_serial_delta(counters_before, telemetry)
         if faults.timeout_s is not None and wall_s > faults.timeout_s:
+            if faults.retry_timeouts:
+                # Same semantics as the pool watchdog: the overrun is a
+                # failure (the result is discarded) and retries under
+                # the policy — serial and pool paths stay identical.
+                telemetry.emit(
+                    "task/timeout", task=task.key, attempt=attempt,
+                    timeout_s=faults.timeout_s,
+                )
+                if faults.should_retry(attempt):
+                    telemetry.emit("task/retry", task=task.key, attempt=attempt)
+                    time.sleep(faults.delay(attempt, key=task.key))
+                    continue
+                return TaskOutcome(
+                    key=task.key,
+                    failure=TaskFailure(
+                        key=task.key, kind=KIND_TIMEOUT,
+                        error=f"exceeded {faults.timeout_s}s "
+                        "(serial; result discarded)",
+                        attempts=attempt,
+                    ),
+                    attempts=attempt,
+                )
             # Serial mode cannot preempt; flag the overrun but keep the result.
             telemetry.emit(
                 "task/overtime", task=task.key, wall_s=round(wall_s, 6),
@@ -571,9 +593,9 @@ def _run_pool(
         telemetry.emit("pool/respawn", worker=workers[index].wid)
 
     def retry_or_fail(task: Task, attempt: int, kind: str, error: str) -> None:
-        if kind != KIND_TIMEOUT and faults.should_retry(attempt):
+        if faults.retryable(kind) and faults.should_retry(attempt):
             telemetry.emit("task/retry", task=task.key, attempt=attempt)
-            time.sleep(faults.delay(attempt))
+            time.sleep(faults.delay(attempt, key=task.key))
             queue.appendleft((task, attempt + 1))
             return
         finish(
@@ -695,17 +717,9 @@ def _run_pool(
                         "task/timeout", task=task.key, attempt=attempt,
                         timeout_s=faults.timeout_s,
                     )
-                    finish(
-                        task,
-                        TaskOutcome(
-                            key=task.key,
-                            failure=TaskFailure(
-                                key=task.key, kind=KIND_TIMEOUT,
-                                error=f"exceeded {faults.timeout_s}s (worker killed)",
-                                attempts=attempt,
-                            ),
-                            attempts=attempt,
-                        ),
+                    retry_or_fail(
+                        task, attempt, KIND_TIMEOUT,
+                        f"exceeded {faults.timeout_s}s (worker killed)",
                     )
     finally:
         for worker in workers:

@@ -293,6 +293,44 @@ def _stage_sweep(sim: SimConfig, plane_on: bool) -> Callable[[], None]:
     return run
 
 
+def _stage_campaign_scheduler(sim: SimConfig) -> Callable[[], None]:
+    """Scheduler overhead: a serial campaign over trivial cells.
+
+    Times the campaign machinery itself — table expansion, dispatch,
+    event handling, outcome bookkeeping — with near-zero cell cost, so
+    a scheduling-loop regression (per-cell overhead creeping up) shows
+    here long before it would be visible under real simulation cells.
+    """
+    from repro.campaign import (
+        Axis,
+        CampaignPolicy,
+        CampaignSpec,
+        RunTable,
+        SerialExecutor,
+        run_campaign,
+    )
+    from repro.campaign.studies import smoke_cell
+    from repro.harness import FaultPolicy
+
+    spec = CampaignSpec(
+        name="bench",
+        table=RunTable(
+            name="bench",
+            axes=(Axis("a", tuple(range(24))), Axis("b", tuple(range(4)))),
+            reps=2,
+        ),
+        fn=smoke_cell,
+    )
+    policy = CampaignPolicy(
+        faults=FaultPolicy(max_attempts=2, backoff_s=0.0), speculate=False
+    )
+
+    def run() -> None:
+        run_campaign(spec, SerialExecutor(), policy=policy)
+
+    return run
+
+
 #: The declared suite: (stage name, factory(sim) -> timed callable).
 SUITE: list[tuple[str, Callable[[SimConfig], Callable[[], None]]]] = [
     ("fastpath/lru_miss_mask", _stage_lru_kernel),
@@ -314,6 +352,7 @@ SUITE: list[tuple[str, Callable[[SimConfig], Callable[[], None]]]] = [
     ("harness/warm_cache", lambda sim: _stage_harness(sim, warm=True)),
     ("harness/sweep_cold", lambda sim: _stage_sweep(sim, plane_on=False)),
     ("harness/sweep_plane", lambda sim: _stage_sweep(sim, plane_on=True)),
+    ("campaign/scheduler", _stage_campaign_scheduler),
 ]
 
 

@@ -1,0 +1,353 @@
+"""Campaign scheduler: retries, quarantine, degradation, resume.
+
+Fast-by-construction: every test drives the scheduler with the
+arithmetic ``smoke_cell`` (or a scripted chaos wrapper around it), so
+the suite exercises the full fault machinery in a few seconds.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import (
+    Axis,
+    CampaignPolicy,
+    CampaignSpec,
+    LocalPoolExecutor,
+    RunTable,
+    STATUS_FAILED,
+    STATUS_MISSING,
+    STATUS_POISONED,
+    SerialExecutor,
+    SubprocessFleetExecutor,
+    run_campaign,
+)
+from repro.campaign.report import render, summarize
+from repro.campaign.studies import smoke_cell
+from repro.harness import CampaignManifest, FaultPolicy, Telemetry
+from repro.harness.chaos import error_task, hang_task, kill_executor, take_ticket
+
+
+def fast_policy(**overrides) -> CampaignPolicy:
+    defaults = dict(
+        faults=FaultPolicy(max_attempts=3, backoff_s=0.0),
+        straggler_min_s=30.0,  # no accidental speculation in fast tests
+    )
+    defaults.update(overrides)
+    return CampaignPolicy(**defaults)
+
+
+def small_table(reps=1, points=2) -> RunTable:
+    return RunTable(
+        name="t", axes=(Axis("alpha", tuple(range(points))),), reps=reps
+    )
+
+
+def cell_name(point: dict, rep: int) -> str:
+    return "-".join(f"{k}{v}" for k, v in sorted(point.items())) + f"-r{rep}"
+
+
+# -- scripted chaos cells (module-level: workers pickle them by name) --------
+
+
+def flaky_cell(point, rep, *, root, fail_attempts=1):
+    return error_task(
+        root, cell_name(point, rep), smoke_cell(point, rep), fail_attempts
+    )
+
+
+def killer_cell(point, rep, *, root, victim, kill_attempts=1):
+    value = smoke_cell(point, rep)
+    if point["alpha"] == victim:
+        return kill_executor(root, cell_name(point, rep), value, kill_attempts)
+    return value
+
+
+def slow_cell(point, rep, *, root, victim, sleep_s):
+    if point["alpha"] == victim and take_ticket(root, cell_name(point, rep)) == 0:
+        time.sleep(sleep_s)
+    return smoke_cell(point, rep)
+
+
+def divergent_cell(point, rep, *, root, victim, sleep_s):
+    if point["alpha"] != victim:
+        return smoke_cell(point, rep)
+    ticket = take_ticket(root, cell_name(point, rep))
+    if ticket == 0:
+        time.sleep(sleep_s)
+    return {"which": float(ticket)}  # every attempt returns different bits
+
+
+def hanging_cell(point, rep, *, root, victim, hang_s, hang_attempts=1):
+    value = smoke_cell(point, rep)
+    if point["alpha"] == victim:
+        return hang_task(root, cell_name(point, rep), value, hang_s, hang_attempts)
+    return value
+
+
+def counting_cell(point, rep, *, root):
+    take_ticket(root, cell_name(point, rep))
+    return smoke_cell(point, rep)
+
+
+# -- the basics --------------------------------------------------------------
+
+
+def test_serial_campaign_completes_in_table_order():
+    spec = CampaignSpec(name="s", table=small_table(reps=2, points=3), fn=smoke_cell)
+    result = run_campaign(spec, SerialExecutor(), policy=fast_policy())
+    assert result.complete and not result.degraded
+    assert [o.cell.key for o in result.outcomes] == [
+        c.key for c in spec.table.cells()
+    ]
+    assert all(o.ok and isinstance(o.value, dict) for o in result.outcomes)
+
+
+@pytest.mark.parametrize(
+    "make_executor",
+    [
+        lambda: LocalPoolExecutor(workers=2),
+        lambda: SubprocessFleetExecutor(workers=2),
+    ],
+    ids=["local", "fleet"],
+)
+def test_executors_bit_identical_to_serial(make_executor):
+    spec = CampaignSpec(name="s", table=small_table(reps=2, points=2), fn=smoke_cell)
+    reference = run_campaign(spec, SerialExecutor(), policy=fast_policy())
+    result = run_campaign(spec, make_executor(), policy=fast_policy())
+    assert result.complete
+    assert [(o.cell.key, o.value) for o in result.outcomes] == [
+        (o.cell.key, o.value) for o in reference.outcomes
+    ]
+
+
+def test_transient_error_retried_with_backoff(tmp_path):
+    telemetry = Telemetry()
+    spec = CampaignSpec(
+        name="s", table=small_table(points=2), fn=flaky_cell,
+        kwargs={"root": str(tmp_path)},
+    )
+    result = run_campaign(
+        spec, SerialExecutor(), policy=fast_policy(), telemetry=telemetry
+    )
+    assert result.complete
+    assert all(o.attempts == 2 for o in result.outcomes)
+    assert telemetry.counters["campaign/cell-retry"] == 2
+    assert telemetry.counters["campaign/cells_ok"] == 2
+
+
+def test_persistent_error_exhausts_budget_and_fails_cell(tmp_path):
+    spec = CampaignSpec(
+        name="s", table=small_table(points=2), fn=flaky_cell,
+        kwargs={"root": str(tmp_path), "fail_attempts": 99},
+    )
+    result = run_campaign(spec, SerialExecutor(), policy=fast_policy())
+    assert result.degraded
+    failed = result.by_status(STATUS_FAILED)
+    assert len(failed) == 2
+    assert all(o.attempts == 3 for o in failed)
+    assert all("ChaosError" in o.error for o in failed)
+    # A survivable error is not a worker kill: nothing was quarantined.
+    assert not result.by_status(STATUS_POISONED)
+
+
+# -- worker death and quarantine ---------------------------------------------
+
+
+def test_worker_death_reschedules_cell_and_respawns(tmp_path):
+    telemetry = Telemetry()
+    spec = CampaignSpec(
+        name="s", table=small_table(points=3), fn=killer_cell,
+        kwargs={"root": str(tmp_path), "victim": 1},
+    )
+    result = run_campaign(
+        spec, SubprocessFleetExecutor(workers=2), policy=fast_policy(),
+        telemetry=telemetry,
+    )
+    assert result.complete
+    clean = run_campaign(spec, SerialExecutor(), policy=fast_policy())
+    # tickets consumed by the serial run shift nothing: alpha=1 already
+    # spent its one kill, so serial recomputes the same values.
+    assert [o.value for o in result.outcomes] == [o.value for o in clean.outcomes]
+    assert telemetry.counters["campaign/worker-dead"] >= 1
+    assert telemetry.counters["campaign/cell-retry"] >= 1
+
+
+def test_poisoned_cell_is_quarantined_with_diagnostics(tmp_path):
+    telemetry = Telemetry()
+    spec = CampaignSpec(
+        name="s", table=small_table(points=3), fn=killer_cell,
+        kwargs={"root": str(tmp_path), "victim": 2, "kill_attempts": 99},
+    )
+    result = run_campaign(
+        spec,
+        SubprocessFleetExecutor(workers=2, max_respawns=6),
+        policy=fast_policy(faults=FaultPolicy(max_attempts=5, backoff_s=0.0)),
+        telemetry=telemetry,
+    )
+    poisoned = result.by_status(STATUS_POISONED)
+    assert len(poisoned) == 1
+    assert poisoned[0].cell.point_dict["alpha"] == 2
+    assert "quarantined" in poisoned[0].error
+    assert "killed 2 consecutive worker(s)" in poisoned[0].error
+    assert telemetry.counters["campaign/cell-poisoned"] == 1
+    # The other cells survived the chaos untouched.
+    assert sum(1 for o in result.outcomes if o.ok) == 2
+    assert "poisoned" in render(result)
+
+
+def test_respawn_budget_exhaustion_degrades_gracefully(tmp_path):
+    telemetry = Telemetry()
+    spec = CampaignSpec(
+        name="s", table=small_table(points=3), fn=killer_cell,
+        kwargs={"root": str(tmp_path), "victim": 0, "kill_attempts": 99},
+    )
+    result = run_campaign(
+        spec,
+        SubprocessFleetExecutor(workers=1, max_respawns=0),
+        policy=fast_policy(),
+        telemetry=telemetry,
+    )
+    # One worker, no respawns: the first kill ends all capacity and the
+    # campaign shrinks to a partial result instead of hanging.
+    assert result.degraded
+    missing = result.by_status(STATUS_MISSING)
+    assert missing and all("no surviving workers" in o.error for o in missing)
+    assert telemetry.counters["campaign/degraded"] == 1
+    report = render(result)
+    assert "DEGRADED" in report and "missing" in report
+
+
+# -- timeouts and stragglers -------------------------------------------------
+
+
+def test_lease_timeout_kills_hung_worker_not_retried(tmp_path):
+    spec = CampaignSpec(
+        name="s", table=small_table(points=2), fn=hanging_cell,
+        kwargs={"root": str(tmp_path), "victim": 0, "hang_s": 30.0},
+    )
+    t0 = time.monotonic()
+    result = run_campaign(
+        spec,
+        SubprocessFleetExecutor(workers=2),
+        policy=fast_policy(faults=FaultPolicy(timeout_s=0.4, backoff_s=0.0)),
+    )
+    assert time.monotonic() - t0 < 15.0
+    failed = result.by_status(STATUS_FAILED)
+    assert len(failed) == 1
+    assert "timeout" in failed[0].error and "worker killed" in failed[0].error
+    assert sum(1 for o in result.outcomes if o.ok) == 1
+
+
+def test_lease_timeout_retried_when_policy_allows(tmp_path):
+    spec = CampaignSpec(
+        name="s", table=small_table(points=2), fn=hanging_cell,
+        kwargs={"root": str(tmp_path), "victim": 0, "hang_s": 30.0},
+    )
+    result = run_campaign(
+        spec,
+        SubprocessFleetExecutor(workers=2),
+        policy=fast_policy(
+            faults=FaultPolicy(
+                timeout_s=0.4, max_attempts=3, backoff_s=0.0,
+                retry_timeouts=True,
+            )
+        ),
+    )
+    assert result.complete  # the hang was scripted for one attempt only
+
+
+def test_straggler_speculation_first_result_wins(tmp_path):
+    telemetry = Telemetry()
+    spec = CampaignSpec(
+        name="s", table=small_table(points=6), fn=slow_cell,
+        kwargs={"root": str(tmp_path), "victim": 0, "sleep_s": 3.0},
+    )
+    result = run_campaign(
+        spec,
+        SubprocessFleetExecutor(workers=2),
+        policy=fast_policy(straggler_min_s=0.3, straggler_factor=2.0),
+        telemetry=telemetry,
+    )
+    assert result.complete
+    assert telemetry.counters["campaign/speculate"] >= 1
+    # Both copies compute identical bits: no divergence flagged.
+    assert not any(o.divergent for o in result.outcomes)
+
+
+def test_divergent_speculation_is_flagged_loudly(tmp_path):
+    telemetry = Telemetry()
+    spec = CampaignSpec(
+        name="s", table=small_table(points=6), fn=divergent_cell,
+        kwargs={"root": str(tmp_path), "victim": 0, "sleep_s": 3.0},
+    )
+    result = run_campaign(
+        spec,
+        SubprocessFleetExecutor(workers=2),
+        policy=fast_policy(straggler_min_s=0.3, straggler_factor=2.0),
+        telemetry=telemetry,
+    )
+    assert result.complete
+    divergent = [o for o in result.outcomes if o.divergent]
+    assert len(divergent) == 1
+    assert divergent[0].cell.point_dict["alpha"] == 0
+    assert telemetry.counters["campaign/divergent"] == 1
+    assert "DIVERGENCE" in render(result)
+
+
+# -- resume ------------------------------------------------------------------
+
+
+def test_resume_serves_completed_cells_without_rerunning(tmp_path):
+    root = tmp_path / "tickets"
+    spec = CampaignSpec(
+        name="s", table=small_table(reps=2, points=2), fn=counting_cell,
+        kwargs={"root": str(root)},
+    )
+    journal = tmp_path / "campaign.jsonl"
+    with CampaignManifest.open_fresh(journal, spec.signature()) as manifest:
+        first = run_campaign(
+            spec, SerialExecutor(), policy=fast_policy(), manifest=manifest
+        )
+    assert first.complete
+    invocations = len(list(root.iterdir()))
+    assert invocations == 4
+
+    telemetry = Telemetry()
+    with CampaignManifest.open_resume(journal, spec.signature()) as manifest:
+        assert manifest.resumed
+        second = run_campaign(
+            spec, SerialExecutor(), policy=fast_policy(),
+            manifest=manifest, telemetry=telemetry,
+        )
+    assert second.complete
+    assert len(list(root.iterdir())) == invocations  # nothing re-ran
+    assert all(o.cached for o in second.outcomes)
+    assert telemetry.counters["campaign/resume-skip"] == 4
+    assert [o.value for o in second.outcomes] == [o.value for o in first.outcomes]
+
+
+# -- report ------------------------------------------------------------------
+
+
+def test_report_mean_std_over_reps():
+    spec = CampaignSpec(name="s", table=small_table(reps=3, points=1), fn=smoke_cell)
+    result = run_campaign(spec, SerialExecutor(), policy=fast_policy())
+    rows = summarize(result)
+    by_metric = {metric: (mean, std, n) for _, metric, mean, std, n in rows}
+    assert by_metric["rep"][2] == 3
+    assert by_metric["rep"][0] == pytest.approx(1.0)  # mean of 0,1,2
+    assert by_metric["rep"][1] == pytest.approx(1.0)  # sample std of 0,1,2
+    report = render(result)
+    assert "complete (3/3 cells ok)" in report
+
+
+def test_report_is_deterministic_across_runs():
+    spec = CampaignSpec(name="s", table=small_table(reps=2, points=2), fn=smoke_cell)
+    a = render(run_campaign(spec, SerialExecutor(), policy=fast_policy()))
+    b = render(run_campaign(spec, LocalPoolExecutor(workers=2), policy=fast_policy()))
+    # No wall times, worker ids or timestamps leak into the report: the
+    # serial and pool renderings are byte-identical.
+    assert a.replace("executor: serial", "") == b.replace(
+        "executor: local (2 workers)", ""
+    )

@@ -80,6 +80,114 @@ def test_serial_timeout_is_advisory():
     assert telemetry.counters["task/overtime"] == 1
 
 
+def test_policy_validation_backoff_cap_and_jitter():
+    with pytest.raises(ConfigError):
+        FaultPolicy(backoff_max_s=0)
+    with pytest.raises(ConfigError):
+        FaultPolicy(jitter=-0.1)
+    with pytest.raises(ConfigError):
+        FaultPolicy(jitter=1.5)
+
+
+def test_backoff_cap_bounds_the_schedule():
+    policy = FaultPolicy(
+        max_attempts=5, backoff_s=0.1, backoff_factor=4.0, backoff_max_s=0.25
+    )
+    assert policy.delay(1) == pytest.approx(0.1)
+    assert policy.delay(2) == pytest.approx(0.25)  # 0.4 capped
+    assert policy.delay(3) == pytest.approx(0.25)  # 1.6 capped
+
+
+def test_jitter_is_deterministic_and_pure():
+    policy = FaultPolicy(backoff_s=0.1, jitter=0.5, jitter_seed=7)
+    # Pure: same (policy, attempt, key) -> same delay, every time.
+    assert policy.delay(1, key="fig04") == policy.delay(1, key="fig04")
+    # Decorrelated: key, attempt and seed all move the jitter.
+    assert policy.delay(1, key="fig04") != policy.delay(1, key="fig05")
+    assert policy.delay(1, key="fig04") != policy.delay(2, key="fig04")
+    other_seed = FaultPolicy(backoff_s=0.1, jitter=0.5, jitter_seed=8)
+    assert policy.delay(1, key="fig04") != other_seed.delay(1, key="fig04")
+    # Bounded: within +/- jitter of the base delay, never negative.
+    for key in ("a", "b", "c", "d"):
+        for attempt in (1, 2, 3):
+            delay = policy.delay(attempt, key=key)
+            base = 0.1 * 2.0 ** (attempt - 1)
+            assert 0.0 <= base * 0.5 <= delay <= base * 1.5
+
+
+def test_jitter_off_by_default_keeps_exact_schedule():
+    policy = FaultPolicy(max_attempts=3, backoff_s=0.1, backoff_factor=2.0)
+    assert policy.delay(1, key="anything") == pytest.approx(0.1)
+    assert policy.delay(2, key="anything") == pytest.approx(0.2)
+
+
+# -- retry_timeouts: one flag, identical semantics on both paths -------------
+
+
+def hang_once(root: str, name: str, value, hang_s: float, hang_attempts: int = 1):
+    from repro.harness.chaos import hang_task
+
+    return hang_task(root, name, value, hang_s, hang_attempts)
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "pool"])
+def test_retry_timeouts_recovers_identically_on_both_paths(tmp_path, jobs):
+    telemetry = Telemetry()
+    outcomes = run_tasks(
+        [
+            Task(
+                key="h", fn=hang_once,
+                args=(str(tmp_path / f"j{jobs}"), "h", 42, 0.6, 1),
+            )
+        ],
+        jobs=jobs,
+        faults=FaultPolicy(
+            timeout_s=0.2, max_attempts=2, backoff_s=0.0, retry_timeouts=True
+        ),
+        telemetry=telemetry,
+    )
+    # Pinning test: whichever path ran it, the overrun attempt is a
+    # discarded timeout failure and the retry produced the value.
+    assert outcomes[0].ok and outcomes[0].value == 42
+    assert outcomes[0].attempts == 2
+    assert telemetry.counters["task/timeout"] == 1
+    assert telemetry.counters["task/retry"] == 1
+    assert "task/overtime" not in telemetry.counters
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "pool"])
+def test_retry_timeouts_exhausts_budget_identically(tmp_path, jobs):
+    outcomes = run_tasks(
+        [
+            Task(
+                key="h", fn=hang_once,
+                args=(str(tmp_path / f"j{jobs}"), "h", 42, 0.5, 9),
+            )
+        ],
+        jobs=jobs,
+        faults=FaultPolicy(
+            timeout_s=0.2, max_attempts=2, backoff_s=0.0, retry_timeouts=True
+        ),
+    )
+    assert not outcomes[0].ok
+    assert outcomes[0].failure.kind == KIND_TIMEOUT
+    assert outcomes[0].failure.attempts == 2
+
+
+def test_pool_timeout_not_retried_when_flag_off(tmp_path):
+    # Default retry_timeouts=False: a timed-out task fails on the first
+    # attempt even with retry budget left — a deterministic task that
+    # blew its budget once will blow it again.
+    outcomes = run_tasks(
+        [Task(key="slow", fn=sleep_for, args=(0.8,))],
+        jobs=2,
+        faults=FaultPolicy(timeout_s=0.2, max_attempts=3, backoff_s=0.0),
+    )
+    assert not outcomes[0].ok
+    assert outcomes[0].failure.kind == KIND_TIMEOUT
+    assert outcomes[0].failure.attempts == 1
+
+
 def test_worker_death_degrades_gracefully():
     telemetry = Telemetry()
     outcomes = run_tasks(

@@ -158,6 +158,120 @@ def test_characterize_resume_is_byte_identical(cli_env, capsys, tmp_path):
     assert "task/start" not in events
 
 
+# -- campaign exit codes and resume ------------------------------------------
+
+
+def sigint_cell(point, rep, *, root):
+    """SIGINT the campaign process from inside one cell, once ever."""
+    from repro.campaign.studies import smoke_cell
+    from repro.harness.chaos import take_ticket
+
+    if point["alpha"] == 2 and rep == 0 and take_ticket(root, "sigint") == 0:
+        os.kill(os.getppid(), signal.SIGINT)
+    return smoke_cell(point, rep)
+
+
+def failing_cell(point, rep):
+    from repro.campaign.studies import smoke_cell
+
+    if point["alpha"] == 3:
+        raise RuntimeError("cell permanently broken")
+    return smoke_cell(point, rep)
+
+
+@pytest.fixture
+def campaign_studies(monkeypatch, tmp_path):
+    """Register tiny test studies alongside the built-in ones."""
+    from repro.campaign import Axis, CampaignSpec, RunTable
+    from repro.campaign import studies
+
+    table = RunTable(name="t", axes=(Axis("alpha", (1, 2, 3)),), reps=2)
+
+    def sigint_spec(reps, quick):
+        return CampaignSpec(
+            name="t-sigint", table=table, fn=sigint_cell,
+            kwargs={"root": str(tmp_path / "tickets")},
+        )
+
+    def failing_spec(reps, quick):
+        return CampaignSpec(name="t-failing", table=table, fn=failing_cell)
+
+    registry = dict(studies.STUDIES)
+    registry["t-sigint"] = sigint_spec
+    registry["t-failing"] = failing_spec
+    monkeypatch.setattr(studies, "STUDIES", registry)
+
+
+def test_campaign_unknown_study_exits_2(cli_env, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["campaign", "run", "nope"])
+    assert excinfo.value.code == 2
+    assert "unknown study" in capsys.readouterr().err
+
+
+def test_campaign_complete_exits_0(cli_env, capsys):
+    rc = main(["campaign", "run", "smoke", "--executor", "serial"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "status: complete (12/12 cells ok)" in captured.out
+    # status and report agree, read-only, exit 0.
+    assert main(["campaign", "status", "smoke"]) == 0
+    assert "12 ok" in capsys.readouterr().out
+    assert main(["campaign", "report", "smoke"]) == 0
+
+
+def test_campaign_partial_exits_4_and_report_states_degradation(
+    cli_env, campaign_studies, capsys
+):
+    rc = main(["campaign", "run", "t-failing", "--executor", "serial"])
+    assert rc == 4
+    captured = capsys.readouterr()
+    assert "DEGRADED" in captured.out
+    assert "2 failed" in captured.out
+    assert "cell permanently broken" in captured.out
+    # The journal-backed report reproduces the degradation and exit code.
+    assert main(["campaign", "report", "t-failing"]) == 4
+    captured = capsys.readouterr()
+    assert "DEGRADED" in captured.out
+    assert "alpha=3/rep0" in captured.out
+
+
+def test_interrupted_fleet_campaign_resumes_byte_identically(
+    cli_env, campaign_studies, capsys
+):
+    argv = ["campaign", "run", "t-sigint", "--executor", "fleet", "--jobs", "2"]
+
+    # Interrupted mid-campaign: drained cells persist, exit 130.
+    rc = main(argv)
+    assert rc == 130
+    captured = capsys.readouterr()
+    assert "campaign interrupted" in captured.err
+    assert "--resume" in captured.err
+
+    # Resume completes the table; exit 0.
+    rc = main(argv + ["--resume"])
+    assert rc == 0
+    resumed = capsys.readouterr()
+    assert "resuming campaign" in resumed.err
+    assert "status: complete (6/6 cells ok)" in resumed.out
+
+    # The resumed report is byte-identical to an uninterrupted run
+    # (fresh journal, same spec, serial executor — the reference).
+    rc = main(["campaign", "run", "t-sigint", "--executor", "serial"])
+    assert rc == 0
+    baseline = capsys.readouterr().out
+    assert resumed.out.replace(
+        "executor: fleet (2 workers)", "executor: serial"
+    ) == baseline
+
+
+def test_campaign_status_without_journal(cli_env, capsys):
+    assert main(["campaign", "status", "smoke"]) == 0
+    captured = capsys.readouterr()
+    assert "no journal" in captured.out
+    assert "12 pending" in captured.out
+
+
 def test_check_invariants_flag_passes_clean_run(cli_env, monkeypatch, capsys):
     # setenv first so monkeypatch restores the variable afterwards
     # (the CLI writes it through os.environ for workers to inherit).

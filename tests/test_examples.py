@@ -39,4 +39,5 @@ def test_expected_example_set():
         "scaling_study",
         "gc_pause_study",
         "trace_replay",
+        "campaign_ablation",
     } <= names
