@@ -1,0 +1,87 @@
+"""Streaming acceptance bench: pipelined generate+replay parity and win.
+
+Two properties the chunk-ring streaming plane must hold on a
+fig12-shaped sweep (several single-CPU traces, many cache sizes):
+
+1. **Parity** — the pipelined sweep
+   (:func:`repro.harness.chunkring.miss_curve_sweep_stream`: one
+   producer per spec filling ring slots while the consumer replays
+   with carried state) produces points *identical* to generating each
+   trace fully and then replaying it;
+2. **Pipelining win** — overlapping every spec's generation with the
+   running replay beats generate-then-replay by at least 1.5x wall
+   time.  Producers are real processes, so the win only physically
+   exists with >= 2 usable CPUs; on a single-CPU machine the gate is
+   skipped (parity is still asserted) and multi-core CI enforces it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.figures.fig12_icache import CACHE_SIZES, CONFIGS, _sweep_sim
+from repro.harness.chunkring import miss_curve_sweep_stream
+from repro.harness.traceplane import TraceSpec
+from repro.memsys.multisim import simulate_miss_curve
+
+#: Reduced effort, same shape as fig12: every paper configuration at a
+#: trace length where generation is a real cost but the bench stays fast.
+SIM = SimConfig(seed=1234, refs_per_proc=20_000, warmup_fraction=0.5)
+
+SPECS = [
+    TraceSpec(workload=name, scale=scale, n_procs=1, sim=_sweep_sim(SIM, scale))
+    for _label, name, scale in CONFIGS
+]
+
+SIZES = list(CACHE_SIZES[:5])
+
+CHUNK_REFS = 8_192
+
+
+def _sequential() -> dict:
+    """Generate-then-replay: each trace fully materialized first."""
+    out = {}
+    for spec in SPECS:
+        trace = spec.generate().merged()
+        out[spec.key()] = simulate_miss_curve(
+            trace, SIZES, kind="instr",
+            warmup_fraction=spec.sim.warmup_fraction,
+        )
+    return out
+
+
+def test_pipelined_sweep_matches_sequential_and_beats_it():
+    t0 = time.perf_counter()
+    sequential = _sequential()
+    seq_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pipelined = miss_curve_sweep_stream(
+        SPECS, SIZES, "instr",
+        warmup_fraction=SIM.warmup_fraction, chunk_refs=CHUNK_REFS,
+    )
+    pipe_s = time.perf_counter() - t0
+
+    assert set(pipelined) == set(sequential)
+    for key in sequential:
+        seq_points = [
+            (p.size, p.accesses, p.misses, p.mpki) for p in sequential[key]
+        ]
+        pipe_points = [
+            (p.size, p.accesses, p.misses, p.mpki) for p in pipelined[key]
+        ]
+        assert pipe_points == seq_points, key
+
+    if len(os.sched_getaffinity(0)) < 2:
+        pytest.skip(
+            "pipelining needs >= 2 usable CPUs for a real win "
+            f"(parity held; seq={seq_s:.2f}s pipe={pipe_s:.2f}s)"
+        )
+    assert pipe_s < seq_s / 1.5, (
+        f"pipelined sweep took {pipe_s:.2f}s vs sequential {seq_s:.2f}s "
+        f"({seq_s / pipe_s:.2f}x); expected >= 1.5x"
+    )

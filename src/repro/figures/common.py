@@ -130,6 +130,35 @@ def figure_trace(name: str, scale: int | None, n_procs: int, sim: SimConfig):
     return spec.generate()
 
 
+def figure_trace_chunks(
+    name: str,
+    scale: int | None,
+    n_procs: int,
+    sim: SimConfig,
+    chunk_refs: int | None = None,
+):
+    """One workload trace as a chunked :class:`TraceStream`.
+
+    The streaming counterpart of :func:`figure_trace`: plane-resolved
+    bundles are sliced into chunk views (zero-copy over the shared
+    segment); otherwise chunks are generated lazily from the same
+    stateless RNG streams.  Either way the concatenated chunks are
+    bit-identical to the materialized bundle.
+    """
+    from repro.harness.traceplane import TraceSpec, resolve
+    from repro.memsys.stream import TraceStream
+    from repro.rng import RngFactory
+
+    spec = TraceSpec(workload=name, scale=scale, n_procs=n_procs, sim=sim)
+    bundle = resolve(spec)
+    if bundle is not None:
+        return TraceStream.from_bundle(bundle, chunk_refs=chunk_refs)
+    workload = make_workload(name, scale=scale)
+    return TraceStream.from_workload(
+        workload, n_procs, sim, RngFactory(seed=sim.seed), chunk_refs=chunk_refs
+    )
+
+
 def simulate_multiprocessor(
     workload,
     n_procs: int,

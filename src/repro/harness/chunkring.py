@@ -1,0 +1,338 @@
+"""Bounded shared-memory rings of trace chunk segments.
+
+The trace plane (:mod:`repro.harness.traceplane`) shares traces
+generate-once/replay-many — but the whole trace must exist before the
+first replay starts.  A :class:`ChunkRing` removes that barrier:
+producer processes generate chunks into a fixed number of
+shared-memory slots while the consumer replays them, so generation is
+pipelined with replay and peak memory is bounded by
+``slots x chunk_refs x 8`` bytes per stream regardless of trace
+length.  Backpressure is the free-slot queue: a producer that gets
+ahead blocks until the consumer returns a slot.
+
+Crash-safety reuses the plane's ledger protocol: the ring writes a
+``<generation>.ledger`` (head: owning pid; entries: shm segment names)
+in the same directory the plane uses, so
+:func:`repro.harness.traceplane.sweep_stale` — which every plane and
+ring runs on construction — reaps ring segments leaked by a killed
+consumer.  Producers watch their parent pid and exit on their own when
+the consumer dies mid-chunk.
+
+Each stream gets its *own* segment and slot queues, so two streams
+can never deadlock each other, and a ring on a platform without the
+``fork`` start method degrades to inline generation (same chunks, no
+pipelining).
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import json
+import multiprocessing
+import os
+import queue as _queue
+import uuid
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigError, SimulationError
+from repro.harness.traceplane import (
+    SEGMENT_PREFIX,
+    _close_shm_mapping,
+    sweep_stale,
+)
+from repro.memsys.stream import simulate_miss_curve_stream, stream_chunk_refs
+
+#: Seconds between liveness polls while blocked on a slot queue.  Long
+#: enough to stay off the profile, short enough that an orphaned
+#: producer exits promptly after its consumer is killed.
+_POLL_S = 0.25
+
+
+def _producer_main(chunks, views, free_q, filled_q, chunk_refs, parent_pid):
+    """Producer body: drain ``chunks`` into ring slots until EOF.
+
+    Runs in a forked child, writing into the inherited shared mapping.
+    Orphan safety: while blocked for a free slot it polls the parent
+    pid and exits once the consumer is gone, so a killed consumer
+    never leaves a producer spinning (the swept segment outlives
+    neither).
+    """
+    try:
+        for chunk in chunks:
+            arr = np.asarray(chunk, dtype=np.uint64)
+            for start in range(0, int(arr.size), chunk_refs):
+                part = arr[start : start + chunk_refs]
+                while True:
+                    if os.getppid() != parent_pid:
+                        os._exit(1)
+                    try:
+                        slot = free_q.get(timeout=_POLL_S)
+                        break
+                    except _queue.Empty:
+                        continue
+                views[slot][: part.size] = part
+                filled_q.put(("chunk", slot, int(part.size)))
+        filled_q.put(("eof",))
+    except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
+        with contextlib.suppress(Exception):
+            filled_q.put(("error", f"{type(exc).__name__}: {exc}"))
+        with contextlib.suppress(Exception):
+            filled_q.close()
+            filled_q.join_thread()  # flush before the hard exit
+        os._exit(1)
+    # Fall through to a normal exit: multiprocessing flushes the queue
+    # feeder on the way out (a hard exit here would race the feeder and
+    # drop the EOF).
+
+
+class _RingStream:
+    """Parent-side record of one producer-filled stream."""
+
+    def __init__(self, shm, views, free_q, filled_q, proc) -> None:
+        self.shm = shm
+        self.views = views
+        self.free_q = free_q
+        self.filled_q = filled_q
+        self.proc = proc
+        self.done = False
+
+
+class ChunkRing:
+    """A bounded ring of chunk slots per stream, filled by producers.
+
+    ``chunk_refs`` defaults to the ``JMMW_STREAM_CHUNK`` knob;
+    ``slots_per_stream`` bounds how far a producer may run ahead of
+    its consumer.  :meth:`stream_chunks` moves a lazy chunk iterator
+    into a forked producer and returns the consumer-side iterator;
+    chunks come back bit-identical and in order, so any streaming
+    consumer (:func:`repro.memsys.stream.simulate_miss_curve_stream`,
+    :class:`repro.memsys.stream.TraceStream`) runs unchanged on top.
+    """
+
+    def __init__(
+        self,
+        chunk_refs: int | None = None,
+        slots_per_stream: int = 4,
+        root: str | Path | None = None,
+    ) -> None:
+        from repro.harness.cache import default_cache_dir
+
+        self.chunk_refs = (
+            int(chunk_refs) if chunk_refs is not None else stream_chunk_refs()
+        )
+        if self.chunk_refs < 1:
+            raise ConfigError("chunk_refs must be >= 1")
+        if slots_per_stream < 2:
+            raise ConfigError("slots_per_stream must be >= 2")
+        self.slots_per_stream = int(slots_per_stream)
+        self.generation = uuid.uuid4().hex
+        self.root = (
+            Path(root) if root is not None else default_cache_dir() / "traceplane"
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        sweep_stale(self.root)
+        self._owner_pid = os.getpid()
+        self._streams: list[_RingStream] = []
+        self._closed = False
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platform
+            self._ctx = None
+        self._ledger = self.root / f"{self.generation}.ledger"
+        self._ledger.write_text(
+            json.dumps({"pid": self._owner_pid, "generation": self.generation})
+            + "\n",
+            encoding="utf-8",
+        )
+        atexit.register(self.close)
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether producers actually run in parallel here."""
+        return self._ctx is not None
+
+    def stream_chunks(self, chunks: Iterable[np.ndarray]) -> Iterator[np.ndarray]:
+        """Run ``chunks`` in a producer process; yield them in order.
+
+        The iterator (with all its pending generation work) is handed
+        to a forked producer, which starts filling this stream's slots
+        immediately — so creating several streams before consuming the
+        first is what pipelines generation with replay.  Without the
+        ``fork`` start method the chunks are generated inline instead,
+        bit-identically.
+        """
+        if self._closed:
+            raise SimulationError("cannot stream on a closed chunk ring")
+        if self._ctx is None:  # pragma: no cover - non-fork platform
+            return iter(chunks)
+        index = len(self._streams)
+        name = f"{SEGMENT_PREFIX}{self.generation[:8]}-ring{index}"
+        slot_words = self.chunk_refs
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(8, self.slots_per_stream * slot_words * 8),
+            name=name,
+        )
+        with self._ledger.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"backend": "shm", "location": name}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        buf = np.frombuffer(
+            shm.buf, dtype=np.uint64, count=self.slots_per_stream * slot_words
+        )
+        views = [
+            buf[i * slot_words : (i + 1) * slot_words]
+            for i in range(self.slots_per_stream)
+        ]
+        free_q = self._ctx.Queue()
+        filled_q = self._ctx.Queue()
+        for slot in range(self.slots_per_stream):
+            free_q.put(slot)
+        proc = self._ctx.Process(
+            target=_producer_main,
+            args=(chunks, views, free_q, filled_q, self.chunk_refs, os.getpid()),
+            daemon=True,
+        )
+        proc.start()
+        stream = _RingStream(shm, views, free_q, filled_q, proc)
+        self._streams.append(stream)
+        obs.incr("harness/chunk_ring/streams")
+        return self._consume(stream)
+
+    def _consume(self, stream: _RingStream) -> Iterator[np.ndarray]:
+        try:
+            while True:
+                item = self._next_item(stream)
+                if item[0] == "eof":
+                    return
+                if item[0] == "error":
+                    raise SimulationError(f"chunk producer failed: {item[1]}")
+                _, slot, n = item
+                # Copy out before releasing the slot: the yielded chunk
+                # must stay valid after the producer refills the slot.
+                out = np.array(stream.views[slot][:n])
+                stream.free_q.put(slot)
+                obs.incr("harness/chunk_ring/chunks")
+                yield out
+        finally:
+            self._finish_stream(stream)
+
+    def _next_item(self, stream: _RingStream):
+        while True:
+            try:
+                return stream.filled_q.get(timeout=_POLL_S)
+            except _queue.Empty:
+                if not stream.proc.is_alive():
+                    # One last non-blocking drain: the producer may have
+                    # queued its final item right before exiting.
+                    try:
+                        return stream.filled_q.get_nowait()
+                    except _queue.Empty:
+                        raise SimulationError(
+                            "chunk producer died without delivering EOF"
+                        ) from None
+
+    def _finish_stream(self, stream: _RingStream) -> None:
+        if stream.done:
+            return
+        stream.done = True
+        if stream.proc.is_alive():
+            stream.proc.terminate()
+        stream.proc.join(timeout=5)
+        for q in (stream.free_q, stream.filled_q):
+            with contextlib.suppress(Exception):
+                q.close()
+                q.cancel_join_thread()
+        stream.views.clear()
+        with contextlib.suppress(BufferError, OSError):
+            stream.shm.unlink()
+        _close_shm_mapping(stream.shm)
+
+    def close(self) -> None:
+        """Stop producers, unlink segments, retire the ledger.
+
+        Idempotent and pid-guarded like the plane's close: forked
+        producers inherit the atexit registration but must never tear
+        down the consumer's segments.
+        """
+        if self._closed or os.getpid() != self._owner_pid:
+            return
+        self._closed = True
+        for stream in self._streams:
+            self._finish_stream(stream)
+        with contextlib.suppress(OSError):
+            self._ledger.unlink()
+
+
+def miss_curve_sweep_stream(
+    specs: Sequence,
+    sizes: Sequence[int],
+    kind: str,
+    *,
+    assoc: int = 4,
+    block: int = 64,
+    warmup_fraction: float = 0.5,
+    fastpath: bool | None = None,
+    chunk_refs: int | None = None,
+    slots_per_stream: int = 4,
+):
+    """Pipelined miss-curve sweeps: generate and replay concurrently.
+
+    Starts one producer per spec (all generating in parallel), then
+    replays the streams in spec order through the carried-state sweep —
+    so the first spec's replay overlaps every other spec's generation,
+    where the sequential path pays sum(generate) + sum(replay).
+    Returns ``{spec.key(): points}`` with points bit-identical to
+    ``simulate_miss_curve(spec.generate().merged(), ...)`` per spec.
+
+    Specs must be single-processor (the sweep replays the merged
+    stream, which for one processor is the stream itself).  Specs
+    resolvable through an attached trace plane are streamed from the
+    shared segment instead of spawning a producer.
+    """
+    from repro.figures.common import make_workload
+    from repro.harness import traceplane
+    from repro.rng import RngFactory
+
+    ring = ChunkRing(chunk_refs=chunk_refs, slots_per_stream=slots_per_stream)
+    results = {}
+    try:
+        feeds = []
+        for spec in specs:
+            if spec.n_procs != 1:
+                raise ConfigError(
+                    "pipelined sweeps require single-processor specs "
+                    f"(got n_procs={spec.n_procs})"
+                )
+            bundle = traceplane.resolve(spec)
+            if bundle is not None:
+                total = int(bundle.per_cpu[0].size)
+                feeds.append((spec, total, _array_chunks(
+                    bundle.per_cpu[0], ring.chunk_refs
+                )))
+                continue
+            workload = make_workload(spec.workload, scale=spec.scale)
+            chunked = workload.generate_chunks(
+                1, spec.sim, RngFactory(seed=spec.sim.seed), ring.chunk_refs
+            )
+            feeds.append(
+                (spec, chunked.lengths[0], ring.stream_chunks(chunked.per_cpu[0]))
+            )
+        for spec, total, chunks in feeds:
+            results[spec.key()] = simulate_miss_curve_stream(
+                chunks, total, list(sizes), kind=kind, assoc=assoc,
+                block=block, warmup_fraction=warmup_fraction, fastpath=fastpath,
+            )
+    finally:
+        ring.close()
+    return results
+
+
+def _array_chunks(arr: np.ndarray, chunk_refs: int) -> Iterator[np.ndarray]:
+    for start in range(0, int(arr.size), chunk_refs):
+        yield arr[start : start + chunk_refs]

@@ -201,13 +201,6 @@ def _parse_header(buf: bytes, what: str) -> tuple[str, int]:
     return generation, nbytes
 
 
-def _bundle_payload(bundle: "TraceBundle") -> np.ndarray:
-    """The bundle's streams as one contiguous uint64 array."""
-    if not bundle.per_cpu:
-        return np.empty(0, dtype=np.uint64)
-    return np.concatenate([np.ascontiguousarray(t) for t in bundle.per_cpu])
-
-
 def _open_segment(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without resource-tracker tracking.
 
@@ -545,24 +538,31 @@ class TracePlane:
             return existing.ref
         if bundle is None:
             bundle = spec.generate()
-        payload = _bundle_payload(bundle)
-        header = _pack_header(self.generation, payload.nbytes)
+        # Publication streams the per-CPU arrays into the segment one
+        # at a time — never through a concatenated copy of the whole
+        # payload, which used to double peak memory at exactly the
+        # sizes where spilling was supposed to relieve it.
+        arrays = [np.ascontiguousarray(t) for t in bundle.per_cpu]
+        nbytes = sum(int(a.nbytes) for a in arrays)
+        header = _pack_header(self.generation, nbytes)
         self._counter += 1
         meta_json = json.dumps(_jsonable_meta(bundle.meta))
         common = dict(
             spec_key=key,
             generation=self.generation,
-            nbytes=payload.nbytes,
+            nbytes=nbytes,
             lengths=tuple(int(t.size) for t in bundle.per_cpu),
             instructions=tuple(int(n) for n in bundle.instructions),
             workload=bundle.workload,
             meta_json=meta_json,
         )
-        if payload.nbytes >= self.spill_bytes:
+        if nbytes >= self.spill_bytes:
             path = self.root / f"{SEGMENT_PREFIX}{self.generation[:8]}-{self._counter}.trace"
             with path.open("wb") as fh:
                 fh.write(header)
-                fh.write(payload.tobytes())
+                for arr in arrays:
+                    if arr.nbytes:
+                        fh.write(arr.data)
                 fh.flush()
                 os.fsync(fh.fileno())
             ref = TraceRef(backend="spill", location=str(path), **common)
@@ -571,15 +571,18 @@ class TracePlane:
         else:
             name = f"{SEGMENT_PREFIX}{self.generation[:8]}-{self._counter}"
             shm = shared_memory.SharedMemory(
-                create=True, size=HEADER_BYTES + max(8, payload.nbytes), name=name
+                create=True, size=HEADER_BYTES + max(8, nbytes), name=name
             )
             shm.buf[:HEADER_BYTES] = header
-            if payload.nbytes:
+            if nbytes:
                 view = np.frombuffer(
-                    shm.buf, dtype=np.uint64, count=payload.size,
+                    shm.buf, dtype=np.uint64, count=nbytes // 8,
                     offset=HEADER_BYTES,
                 )
-                view[:] = payload
+                start = 0
+                for arr in arrays:
+                    view[start : start + arr.size] = arr
+                    start += int(arr.size)
                 del view
             ref = TraceRef(backend="shm", location=name, **common)
             segment = _Segment(ref, shm=shm, spill=None)

@@ -974,6 +974,21 @@ def _export_caches(lib, m, hierarchy) -> None:
                         sets[si] = dict.fromkeys(islice(blocks_iter, count), 0)
 
 
+def _new_machine(lib, hierarchy):
+    """Build one kernel machine for ``hierarchy``; falsy on failure."""
+    machine = hierarchy.machine
+    l2_of_cpu = np.array(hierarchy._l2_of_cpu, dtype=np.int32)
+    return lib.jmmw_new(
+        machine.n_procs, machine.n_l2_caches, _ptr(l2_of_cpu, ctypes.c_int32),
+        _PROTOCOL_IDS[hierarchy.bus.protocol],
+        int(hierarchy.include_l1), int(hierarchy.bus._track),
+        machine.l1i.n_sets, machine.l1i.assoc, machine.l1i.block_bits,
+        machine.l1d.n_sets, machine.l1d.assoc, machine.l1d.block_bits,
+        machine.l2.n_sets, machine.l2.assoc, machine.l2.block_bits,
+        INSTRUCTIONS_PER_IFETCH, _defect,
+    )
+
+
 def run_trace_kernel(
     hierarchy, per_cpu_traces, quantum: int, warmup_fraction: float
 ) -> bool:
@@ -988,7 +1003,6 @@ def run_trace_kernel(
     if lib is None or not _supported(hierarchy) or not _is_cold(hierarchy):
         _obs.incr("memsys/fastpath/coherent_fallback")
         return False
-    machine = hierarchy.machine
     traces = [np.ascontiguousarray(t, dtype=np.uint64) for t in per_cpu_traces]
     lens = np.array([t.size for t in traces], dtype=np.int64)
     offs = np.zeros(len(traces), dtype=np.int64)
@@ -997,16 +1011,7 @@ def run_trace_kernel(
         np.concatenate(traces) if traces and lens.sum()
         else np.zeros(1, dtype=np.uint64)
     )
-    l2_of_cpu = np.array(hierarchy._l2_of_cpu, dtype=np.int32)
-    m = lib.jmmw_new(
-        machine.n_procs, machine.n_l2_caches, _ptr(l2_of_cpu, ctypes.c_int32),
-        _PROTOCOL_IDS[hierarchy.bus.protocol],
-        int(hierarchy.include_l1), int(hierarchy.bus._track),
-        machine.l1i.n_sets, machine.l1i.assoc, machine.l1i.block_bits,
-        machine.l1d.n_sets, machine.l1d.assoc, machine.l1d.block_bits,
-        machine.l2.n_sets, machine.l2.assoc, machine.l2.block_bits,
-        INSTRUCTIONS_PER_IFETCH, _defect,
-    )
+    m = _new_machine(lib, hierarchy)
     if not m:
         _obs.incr("memsys/fastpath/coherent_fallback")
         return False
@@ -1062,3 +1067,119 @@ def run_trace_kernel(
         lib.jmmw_free(m)
     _obs.incr("memsys/fastpath/coherent_replay")
     return True
+
+
+class KernelSession:
+    """A persistent kernel machine for windowed (streamed) replay.
+
+    Where :func:`run_trace_kernel` replays one materialized trace and
+    frees its machine, a session keeps the machine alive across many
+    :meth:`run` calls: caches, the sharing table, classifier history
+    and every counter carry over, which is exactly what chunked replay
+    needs — the machine *is* the carried state.  The lifecycle is
+    ``begin`` (None means "kernel unavailable here: use the scalar
+    loop"), any number of ``run``/``reset_stats`` calls, then
+    ``finish`` to export everything back into the Python hierarchy
+    (or ``abort`` to free without exporting).
+
+    Unlike the materialized path there is no mid-stream fallback: the
+    chunks already replayed cannot be replayed again scalar, so an
+    allocation failure inside ``run`` raises
+    :class:`~repro.errors.SimulationError`.
+    """
+
+    def __init__(self, lib, m, hierarchy) -> None:
+        self._lib = lib
+        self._m = m
+        self._hierarchy = hierarchy
+        self._closed = False
+
+    @classmethod
+    def begin(cls, hierarchy) -> "KernelSession | None":
+        """Open a session, or None when the kernel cannot serve it."""
+        lib = _load_library()
+        if lib is None or not _supported(hierarchy) or not _is_cold(hierarchy):
+            _obs.incr("memsys/fastpath/coherent_fallback")
+            return None
+        m = _new_machine(lib, hierarchy)
+        if not m:
+            _obs.incr("memsys/fastpath/coherent_fallback")
+            return None
+        return cls(lib, m, hierarchy)
+
+    def run(self, per_cpu_arrays, quantum: int) -> None:
+        """Replay one window: ``per_cpu_arrays[cpu]`` is that
+        processor's references for this window (None or empty for
+        processors sitting the window out).
+
+        The kernel round-robins a ``quantum`` per processor exactly
+        like the materialized replay, so consecutive windows
+        concatenate to the same global schedule.
+        """
+        from repro.errors import SimulationError
+
+        if self._closed:
+            raise SimulationError("kernel session already closed")
+        traces = [
+            np.ascontiguousarray(t, dtype=np.uint64)
+            if t is not None else np.zeros(0, dtype=np.uint64)
+            for t in per_cpu_arrays
+        ]
+        lens = np.array([t.size for t in traces], dtype=np.int64)
+        offs = np.zeros(len(traces), dtype=np.int64)
+        np.cumsum(lens[:-1], out=offs[1:])
+        flat = (
+            np.concatenate(traces) if traces and lens.sum()
+            else np.zeros(1, dtype=np.uint64)
+        )
+        rc = self._lib.jmmw_run(
+            self._m, _ptr(flat, ctypes.c_uint64),
+            _ptr(offs, ctypes.c_int64), _ptr(lens, ctypes.c_int64), quantum,
+        )
+        if rc != 0:
+            self.abort()
+            raise SimulationError(
+                "coherence kernel allocation failure mid-stream; the "
+                "consumed chunks cannot be replayed scalar"
+            )
+
+    def reset_stats(self) -> None:
+        """Zero every counter (warmup/measurement boundary); cache and
+        sharing state are untouched."""
+        self._lib.jmmw_reset_stats(self._m)
+
+    def bus_counters(self) -> np.ndarray:
+        """Current bus counters (for obs deltas around a phase)."""
+        counters = np.zeros(len(BUS_FIELDS), dtype=np.int64)
+        self._lib.jmmw_get_stats(
+            self._m, None, None, _ptr(counters, ctypes.c_int64), None
+        )
+        return counters
+
+    def publish_bus_delta(self, before: np.ndarray, refs: int) -> None:
+        """Publish obs counter deltas since ``before`` (one phase)."""
+        after = self.bus_counters()
+        for name, b, a in zip(BUS_FIELDS, before.tolist(), after.tolist()):
+            if a - b:
+                _obs.incr(f"memsys/bus/{name}", a - b)
+        _obs.incr("memsys/replay/refs", int(refs))
+
+    def finish(self) -> None:
+        """Export machine state into the hierarchy and free it."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            _export_stats(self._lib, self._m, self._hierarchy)
+            _export_table(self._lib, self._m, self._hierarchy)
+            _export_caches(self._lib, self._m, self._hierarchy)
+        finally:
+            self._lib.jmmw_free(self._m)
+        _obs.incr("memsys/fastpath/coherent_replay")
+
+    def abort(self) -> None:
+        """Free the machine without exporting (error paths)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._lib.jmmw_free(self._m)

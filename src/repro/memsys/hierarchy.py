@@ -263,7 +263,22 @@ class MemoryHierarchy:
         reference loop.  The kernel only engages on a cold hierarchy
         with no invariant checker attached; whenever it declines, the
         scalar loop below runs and produces the identical state.
+
+        ``per_cpu_traces`` may also be a
+        :class:`~repro.memsys.stream.TraceStream`: chunks are then
+        replayed as they arrive, carrying machine state across chunk
+        boundaries, with final state and counters bit-identical to
+        materializing the stream first.
         """
+        from repro.memsys import stream as _stream
+
+        if isinstance(per_cpu_traces, _stream.TraceStream):
+            _stream.run_trace_stream(
+                self, per_cpu_traces,
+                quantum=quantum, warmup_fraction=warmup_fraction,
+                fastpath=fastpath,
+            )
+            return
         if len(per_cpu_traces) != self.machine.n_procs:
             raise ConfigError(
                 f"expected {self.machine.n_procs} traces, got {len(per_cpu_traces)}"

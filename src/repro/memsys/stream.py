@@ -1,0 +1,682 @@
+"""Chunked trace streams: constant-memory generation and replay.
+
+Every replay consumer in this package historically required the whole
+trace materialized as one ``uint64`` array per processor.  That bounds
+scenario size by memory and forces generation to finish before replay
+starts.  This module introduces the streaming plane:
+
+- :class:`TraceStream` — per-processor iterators of fixed-size
+  ``uint64`` chunks plus *declared* lengths, built from a materialized
+  bundle (:meth:`TraceStream.from_bundle`), from chunked generation
+  (:meth:`TraceStream.from_workload`), or from raw iterators;
+- :func:`run_trace_stream` — the windowed round-robin scheduler behind
+  :meth:`repro.memsys.hierarchy.MemoryHierarchy.run_trace` when it is
+  handed a stream: cache/bus/classifier state is carried across chunk
+  boundaries either by the persistent compiled-kernel machine
+  (:class:`repro.memsys.fastpath_coherence.KernelSession`) or simply by
+  the live Python hierarchy;
+- :class:`MissCurveAccumulator` — the vectorized miss-curve sweep
+  reformulated with explicit carried state: per-(geometry, set) LRU
+  contents are extracted after each chunk
+  (:func:`lru_carried_state`) and replayed as a synthetic prefix in
+  front of the next chunk, which reproduces every per-access miss flag
+  exactly (Mattson inclusion: a block's hit/miss depends only on the
+  distinct same-set blocks since its previous access, and the carried
+  prefix preserves both membership and recency order);
+- :class:`StackAccumulator` — the mergeable stack-distance
+  formulation: the carried state is the full LRU stack (distinct
+  blocks in last-access order, O(footprint) not O(refs)), and
+  per-chunk histograms merge by addition into the exact one-shot
+  histogram.
+
+Everything here is bit-identical to the materialized path — enforced
+by ``tests/memsys/test_stream_parity.py`` and the ``stream`` rows of
+:data:`repro.obs.diffcheck.FIGURE_DIFF_CONFIGS` — and falls back to it
+via ``stream=False`` / ``--no-stream`` / ``JMMW_STREAM=0``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.errors import ConfigError, SimulationError
+from repro.memsys.block import IFETCH, INSTRUCTIONS_PER_IFETCH
+from repro.memsys.config import CacheConfig
+from repro.memsys.fastpath import fastpath_enabled, lru_miss_mask, stack_distances
+
+#: Environment switch: set to ``0``/``false`` to make every
+#: stream-aware consumer (figure drivers, sweeps) take the materialized
+#: path.  The harness cache key records the resolved value.
+STREAM_ENV = "JMMW_STREAM"
+
+#: Environment override for the default chunk size, in references.
+CHUNK_ENV = "JMMW_STREAM_CHUNK"
+
+#: Default chunk size: 1 M references (8 MB per chunk).
+DEFAULT_CHUNK_REFS = 1_000_000
+
+_forced: bool | None = None
+
+
+def set_stream(enabled: bool | None) -> None:
+    """Process-wide override (CLI ``--stream``/``--no-stream``)."""
+    global _forced
+    _forced = enabled
+
+
+def stream_enabled() -> bool:
+    """Whether stream-aware consumers replay chunked traces."""
+    if _forced is not None:
+        return _forced
+    return os.environ.get(STREAM_ENV, "1").lower() not in ("0", "false", "no")
+
+
+def stream_chunk_refs() -> int:
+    """Chunk size in references (``JMMW_STREAM_CHUNK``, min 1)."""
+    raw = os.environ.get(CHUNK_ENV, "").strip()
+    if not raw:
+        return DEFAULT_CHUNK_REFS
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_CHUNK_REFS
+
+
+#: Seeded-defect knob (tests only): when set, the streaming
+#: accumulators discard their carried state at every chunk boundary.
+#: The parity suite flips this to prove it fails loudly on exactly the
+#: class of bug the carried-state contract exists to prevent.
+_drop_carried_state = False
+
+
+def set_carried_state_defect(enabled: bool) -> None:
+    """Enable/disable the carried-state-drop defect (tests only)."""
+    global _drop_carried_state
+    _drop_carried_state = bool(enabled)
+
+
+# -- chunk plumbing ----------------------------------------------------------
+
+
+class ChunkCursor:
+    """Buffered reader over one processor's chunk iterator.
+
+    ``take(n)`` returns exactly ``n`` references, buffering partial
+    chunks across calls; running short of the declared length raises
+    :class:`~repro.errors.SimulationError` (a producer bug must never
+    silently truncate a replay).
+    """
+
+    def __init__(self, chunks: Iterable[np.ndarray]) -> None:
+        self._chunks = iter(chunks)
+        self._parts: list[np.ndarray] = []
+        self._avail = 0
+
+    def take(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ConfigError("cannot take a negative number of references")
+        while self._avail < n:
+            try:
+                chunk = next(self._chunks)
+            except StopIteration:
+                raise SimulationError(
+                    f"chunk stream ended early: needed {n} more references, "
+                    f"only {self._avail} buffered (producer under-delivered "
+                    "its declared length)"
+                ) from None
+            arr = np.asarray(chunk, dtype=np.uint64)
+            if arr.ndim != 1:
+                raise ConfigError(
+                    f"chunks must be one-dimensional, got shape {arr.shape}"
+                )
+            if arr.size:
+                self._parts.append(arr)
+                self._avail += int(arr.size)
+        if n == 0:
+            return np.empty(0, dtype=np.uint64)
+        parts = []
+        need = n
+        while need:
+            head = self._parts[0]
+            if head.size <= need:
+                parts.append(head)
+                self._parts.pop(0)
+                need -= int(head.size)
+            else:
+                parts.append(head[:need])
+                self._parts[0] = head[need:]
+                need = 0
+        self._avail -= n
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+class TraceStream:
+    """Per-processor chunked reference streams with declared lengths.
+
+    The declared ``lengths`` stand in for ``len(trace)`` everywhere the
+    materialized path needs it up front (warmup splits, round-robin
+    drop-out), so replay schedules are computed before a single chunk
+    is generated.  Streams are one-shot: :meth:`cursors` (or
+    :meth:`chunks_merged`) may be consumed once.
+    """
+
+    def __init__(
+        self,
+        lengths: Sequence[int],
+        per_cpu_chunks: Sequence[Iterable[np.ndarray]],
+        workload: str = "",
+    ) -> None:
+        self.lengths = [int(n) for n in lengths]
+        if any(n < 0 for n in self.lengths):
+            raise ConfigError("declared lengths must be non-negative")
+        self._chunks = list(per_cpu_chunks)
+        if len(self._chunks) != len(self.lengths):
+            raise ConfigError(
+                f"{len(self.lengths)} declared lengths but "
+                f"{len(self._chunks)} chunk iterators"
+            )
+        self.workload = workload
+        self._consumed = False
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def total_refs(self) -> int:
+        return sum(self.lengths)
+
+    def _claim(self) -> None:
+        if self._consumed:
+            raise SimulationError(
+                "trace stream already consumed (streams are one-shot; "
+                "build a fresh one to replay again)"
+            )
+        self._consumed = True
+
+    def cursors(self) -> list[ChunkCursor]:
+        """One buffered cursor per processor (consumes the stream)."""
+        self._claim()
+        return [ChunkCursor(chunks) for chunks in self._chunks]
+
+    def chunks_merged(self) -> Iterator[np.ndarray]:
+        """All processors' chunks in processor order (consumes the stream).
+
+        Concatenating the yielded chunks reproduces
+        ``TraceBundle.merged()`` exactly.
+        """
+        self._claim()
+        for chunks in self._chunks:
+            yield from chunks
+
+    @classmethod
+    def from_arrays(
+        cls,
+        per_cpu: Sequence[np.ndarray],
+        chunk_refs: int | None = None,
+        workload: str = "",
+    ) -> "TraceStream":
+        """Chunked views over already-materialized per-CPU arrays."""
+        chunk = chunk_refs if chunk_refs is not None else stream_chunk_refs()
+        if chunk < 1:
+            raise ConfigError("chunk_refs must be >= 1")
+        arrays = [np.asarray(t, dtype=np.uint64) for t in per_cpu]
+
+        def views(arr: np.ndarray) -> Iterator[np.ndarray]:
+            for start in range(0, int(arr.size), chunk):
+                yield arr[start : start + chunk]
+
+        return cls(
+            [int(a.size) for a in arrays],
+            [views(a) for a in arrays],
+            workload=workload,
+        )
+
+    @classmethod
+    def from_bundle(
+        cls, bundle, chunk_refs: int | None = None
+    ) -> "TraceStream":
+        """Chunked views over a :class:`~repro.workloads.base.TraceBundle`."""
+        return cls.from_arrays(
+            bundle.per_cpu, chunk_refs=chunk_refs, workload=bundle.workload
+        )
+
+    @classmethod
+    def from_workload(
+        cls, workload, n_procs: int, sim, rng_factory, chunk_refs: int | None = None
+    ) -> "TraceStream":
+        """Chunked *generation*: no full trace ever materializes."""
+        chunk = chunk_refs if chunk_refs is not None else stream_chunk_refs()
+        chunked = workload.generate_chunks(n_procs, sim, rng_factory, chunk)
+        return cls(chunked.lengths, chunked.per_cpu, workload=workload.name)
+
+
+# -- carried LRU state -------------------------------------------------------
+
+
+def lru_carried_state(
+    blocks: np.ndarray,
+    set_mask: int,
+    assoc: int,
+    prefix: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact post-replay cache contents, as a synthetic access prefix.
+
+    Returns, for the true-LRU cache defined by ``(set_mask, assoc)``
+    after replaying ``prefix`` (the previous carried state) followed by
+    ``blocks``, every resident block — per set the ``assoc`` most
+    recently used distinct blocks — ordered set-by-set from LRU to MRU.
+    Replaying the result in front of the next chunk reconstructs each
+    set's exact membership *and* recency order, so
+    :func:`repro.memsys.fastpath.lru_miss_mask` over
+    ``concat(carried, chunk)`` produces the chunk's exact miss flags
+    (cross-set interleaving is irrelevant: LRU state is per set).
+    """
+    if assoc <= 0:
+        raise ConfigError(f"assoc must be positive, got {assoc}")
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    if prefix is not None and prefix.size:
+        seq = np.concatenate([np.asarray(prefix, dtype=np.uint64), blocks])
+    else:
+        seq = blocks
+    if seq.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    # Distinct blocks, most-recent-first: first occurrences in the
+    # reversed sequence are last occurrences in the original.
+    rev = seq[::-1]
+    _, first = np.unique(rev, return_index=True)
+    recent = rev[np.sort(first)]
+    sets = (recent & np.uint64(set_mask)).astype(np.int64)
+    order = np.argsort(sets, kind="stable")  # per set, still recency order
+    sorted_sets = sets[order]
+    k = int(recent.size)
+    arange = np.arange(k, dtype=np.int64)
+    new_group = np.empty(k, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_sets[1:] != sorted_sets[:-1]
+    group_start = np.maximum.accumulate(np.where(new_group, arange, 0))
+    rank = arange - group_start  # 0 = most recently used within its set
+    keep = rank < assoc
+    kept_recent = recent[order][keep]
+    kept_rank = rank[keep]
+    kept_sets = sorted_sets[keep]
+    # Emit LRU -> MRU per set (highest rank first), so replaying the
+    # prefix in order restores the recency stack exactly.
+    return kept_recent[np.lexsort((-kept_rank, kept_sets))]
+
+
+# -- streaming miss curves ---------------------------------------------------
+
+
+class MissCurveAccumulator:
+    """Streaming, carried-state equivalent of
+    :func:`repro.memsys.fastpath.miss_curve_points`.
+
+    Feed packed-``uint64`` chunks in trace order; :meth:`points`
+    returns miss-curve points bit-identical to the one-shot vectorized
+    sweep (and therefore to the scalar reference).  Warm/measured
+    accounting follows the global warmup split computed from the
+    *declared* total, so the split lands on the same reference
+    regardless of chunking.
+    """
+
+    def __init__(
+        self,
+        configs: list[CacheConfig],
+        kind: str,
+        total_refs: int,
+        warmup_fraction: float = 0.0,
+    ) -> None:
+        if kind not in ("instr", "data"):
+            raise ConfigError(f"kind must be 'instr' or 'data', got {kind!r}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigError("warmup_fraction must be in [0, 1)")
+        if total_refs < 0:
+            raise ConfigError("total_refs must be non-negative")
+        self.configs = list(configs)
+        self.kind = kind
+        self.total_refs = int(total_refs)
+        self.split = int(total_refs * warmup_fraction)
+        self.pos = 0
+        self._ifetch_total = 0
+        self._ifetch_warm = 0
+        # accesses, misses, warm_accesses, warm_misses per config.
+        self._acc = [[0, 0, 0, 0] for _ in self.configs]
+        self._carried: list[np.ndarray | None] = [None] * len(self.configs)
+        self._groups: dict[int, list[int]] = {}
+        for i, cfg in enumerate(self.configs):
+            self._groups.setdefault(cfg.block_bits, []).append(i)
+
+    def feed(self, chunk: np.ndarray) -> None:
+        refs = np.asarray(chunk, dtype=np.uint64)
+        n = int(refs.size)
+        if n == 0:
+            return
+        if self.pos + n > self.total_refs:
+            raise SimulationError(
+                f"chunk overruns the declared trace length: {self.pos} + {n} "
+                f"> {self.total_refs}"
+            )
+        is_ifetch = (refs & np.uint64(0x3)) == IFETCH
+        split_local = min(max(self.split - self.pos, 0), n)
+        self._ifetch_total += int(np.count_nonzero(is_ifetch))
+        if split_local:
+            self._ifetch_warm += int(np.count_nonzero(is_ifetch[:split_local]))
+        mask = is_ifetch if self.kind == "instr" else ~is_ifetch
+        addrs = (refs >> np.uint64(2))[mask]
+        class_pos = np.flatnonzero(mask)
+        class_before = int(np.searchsorted(class_pos, split_local, side="left"))
+        for block_bits, indices in self._groups.items():
+            blocks = addrs >> np.uint64(block_bits)
+            for i in indices:
+                cfg = self.configs[i]
+                prefix = self._carried[i]
+                if prefix is not None and prefix.size:
+                    seq = np.concatenate([prefix, blocks])
+                    skip = int(prefix.size)
+                else:
+                    seq = blocks
+                    skip = 0
+                miss = lru_miss_mask(seq, cfg.set_mask, cfg.assoc)[skip:]
+                acc = self._acc[i]
+                acc[0] += int(blocks.size)
+                acc[1] += int(np.count_nonzero(miss))
+                acc[2] += class_before
+                acc[3] += int(np.count_nonzero(miss[:class_before]))
+                if _drop_carried_state:
+                    self._carried[i] = None
+                else:
+                    self._carried[i] = lru_carried_state(
+                        blocks, cfg.set_mask, cfg.assoc, prefix=prefix
+                    )
+        self.pos += n
+
+    def points(self):
+        """Post-warmup miss-curve points; the stream must be complete."""
+        from repro.memsys.multisim import MissCurvePoint
+
+        if self.pos != self.total_refs:
+            raise SimulationError(
+                f"stream incomplete: {self.pos} of {self.total_refs} declared "
+                "references fed"
+            )
+        instr = (self._ifetch_total - self._ifetch_warm) * INSTRUCTIONS_PER_IFETCH
+        points = []
+        for cfg, (accesses, misses, warm_acc, warm_miss) in zip(
+            self.configs, self._acc
+        ):
+            post_accesses = accesses - warm_acc
+            post_misses = misses - warm_miss
+            mpki = 1000.0 * post_misses / instr if instr else 0.0
+            points.append(
+                MissCurvePoint(
+                    size=cfg.size,
+                    accesses=post_accesses,
+                    misses=post_misses,
+                    mpki=mpki,
+                )
+            )
+        return points
+
+
+def simulate_miss_curve_stream(
+    chunks: Iterable[np.ndarray],
+    total_refs: int,
+    sizes: list[int],
+    kind: str,
+    assoc: int = 4,
+    block: int = 64,
+    warmup_fraction: float = 0.2,
+    fastpath: bool | None = None,
+):
+    """Streaming equivalent of
+    :func:`repro.memsys.multisim.simulate_miss_curve`.
+
+    ``chunks`` yields the trace in order (e.g.
+    :meth:`TraceStream.chunks_merged`); ``total_refs`` is the declared
+    length, which places the warmup split.  Points are bit-identical to
+    materializing the trace and calling ``simulate_miss_curve`` — on
+    both the vectorized path (carried-LRU-state accumulator) and the
+    scalar reference path (the scalar simulator is already
+    incremental; the split chunk is cut at the exact boundary).
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigError("warmup_fraction must be in [0, 1)")
+    from repro.memsys.multisim import MultiConfigSimulator
+
+    configs = [
+        CacheConfig(size=s, assoc=assoc, block=block, name=f"{kind}-{s}")
+        for s in sizes
+    ]
+    use_fast = fastpath_enabled() if fastpath is None else fastpath
+    split = int(total_refs * warmup_fraction)
+    with _obs.span(
+        "memsys/miss_curve",
+        kind=kind, points=len(sizes), refs=total_refs, fastpath=use_fast,
+        streamed=True,
+    ):
+        if use_fast:
+            acc = MissCurveAccumulator(
+                configs, kind, total_refs, warmup_fraction=warmup_fraction
+            )
+            for chunk in chunks:
+                acc.feed(chunk)
+            return acc.points()
+        _obs.incr("memsys/multisim/scalar_replays")
+        sim = MultiConfigSimulator(
+            configs, kind=kind, warmup_fraction=warmup_fraction
+        )
+        pos = 0
+        if split == 0:
+            sim.mark_warm()
+        for chunk in chunks:
+            arr = np.asarray(chunk, dtype=np.uint64)
+            if pos < split <= pos + int(arr.size):
+                cut = split - pos
+                sim.replay(arr[:cut])
+                sim.mark_warm()
+                sim.replay(arr[cut:])
+            else:
+                sim.replay(arr)
+            pos += int(arr.size)
+        if pos != total_refs:
+            raise SimulationError(
+                f"stream incomplete: {pos} of {total_refs} declared "
+                "references fed"
+            )
+        return sim.results()
+
+
+# -- mergeable stack distances -----------------------------------------------
+
+
+class StackAccumulator:
+    """Mergeable LRU stack-distance histogram over chunked block streams.
+
+    The carried state is the full LRU stack — every distinct block seen
+    so far, ordered by last access (oldest first).  Prepending it to
+    the next chunk makes every in-chunk distance exact: the distinct
+    blocks between an access and its previous occurrence are precisely
+    the blocks whose last occurrence falls in that window, and the
+    stack preserves last-occurrence order.  Memory is O(footprint),
+    independent of trace length, and per-chunk histograms merge by
+    addition into exactly the one-shot histogram.
+    """
+
+    #: Histogram bucket for cold (first-touch) accesses.
+    COLD = -1
+
+    def __init__(self) -> None:
+        self._stack = np.empty(0, dtype=np.int64)
+        self._hist: dict[int, int] = {}
+        self.n_accesses = 0
+
+    def feed(self, blocks) -> None:
+        arr = np.asarray(blocks, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ConfigError(f"blocks must be one-dimensional, got {arr.shape}")
+        if arr.size == 0:
+            return
+        self.n_accesses += int(arr.size)
+        prefix = self._stack
+        if _drop_carried_state:
+            prefix = prefix[:0]
+        seq = np.concatenate([prefix, arr]) if prefix.size else arr
+        dist = stack_distances(seq)[prefix.size :]
+        values, counts = np.unique(dist, return_counts=True)
+        for value, count in zip(values.tolist(), counts.tolist()):
+            self._hist[value] = self._hist.get(value, 0) + count
+        rev = seq[::-1]
+        _, first = np.unique(rev, return_index=True)
+        self._stack = rev[np.sort(first)][::-1]  # oldest -> newest
+
+    def histogram(self) -> dict[int, int]:
+        """``{distance: count}``; COLD (-1) counts first touches."""
+        return dict(self._hist)
+
+
+# -- streamed hierarchy replay -----------------------------------------------
+
+
+def _window_refs(quantum: int) -> int:
+    """Kernel window size: the chunk knob, rounded to quanta."""
+    return max(quantum, (stream_chunk_refs() // quantum) * quantum)
+
+
+def run_trace_stream(
+    hierarchy,
+    stream: TraceStream,
+    quantum: int = 64,
+    warmup_fraction: float = 0.0,
+    fastpath: bool | None = None,
+) -> None:
+    """Replay a :class:`TraceStream` through a hierarchy, windowed.
+
+    Bit-identical to materializing the stream and calling
+    :meth:`~repro.memsys.hierarchy.MemoryHierarchy.run_trace`: the
+    round-robin schedule (including warmup phases and drop-out of
+    exhausted processors) is computed from the declared lengths, and
+    machine state is carried across chunk boundaries by the live
+    hierarchy (scalar path) or the persistent compiled-kernel machine
+    (:class:`repro.memsys.fastpath_coherence.KernelSession`).
+
+    Unlike the materialized kernel path — which can silently fall back
+    to the scalar loop — a kernel failure mid-stream raises
+    :class:`~repro.errors.SimulationError`: chunks are one-shot, so
+    there is nothing left to replay scalar.
+    """
+    from repro.memsys import fastpath_coherence as _fc
+
+    if stream.n_procs != hierarchy.machine.n_procs:
+        raise ConfigError(
+            f"expected {hierarchy.machine.n_procs} streams, got {stream.n_procs}"
+        )
+    if quantum <= 0:
+        raise ConfigError("quantum must be positive")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigError("warmup_fraction must be in [0, 1)")
+    if fastpath is None:
+        fastpath = fastpath_enabled()
+    cursors = stream.cursors()
+    lengths = stream.lengths
+    if warmup_fraction > 0.0:
+        splits = [int(n * warmup_fraction) for n in lengths]
+        phases = [splits, [n - s for n, s in zip(lengths, splits)]]
+    else:
+        phases = [lengths]
+    session = None
+    if fastpath and hierarchy.checker is None:
+        session = _fc.KernelSession.begin(hierarchy)
+    try:
+        for index, budgets in enumerate(phases):
+            if index > 0:
+                if session is not None:
+                    session.reset_stats()
+                else:
+                    hierarchy.reset_stats()
+            bus_before = None
+            if _obs.enabled():
+                bus_before = (
+                    session.bus_counters() if session is not None
+                    else hierarchy._bus_counter_snapshot()
+                )
+            with _obs.span(
+                "memsys/replay", refs=sum(budgets), procs=stream.n_procs,
+            ):
+                if session is not None:
+                    _kernel_phase(session, cursors, budgets, quantum)
+                else:
+                    _scalar_phase(hierarchy, cursors, budgets, quantum)
+            if bus_before is not None:
+                if session is not None:
+                    session.publish_bus_delta(bus_before, sum(budgets))
+                else:
+                    hierarchy._publish_bus_counters(bus_before, sum(budgets))
+        if session is not None:
+            session.finish()
+            session = None
+    finally:
+        if session is not None:
+            session.abort()
+    if hierarchy.checker is not None:
+        hierarchy.checker.check()
+
+
+def _scalar_phase(hierarchy, cursors, budgets, quantum: int) -> None:
+    """One warmup/measurement phase through the scalar access loop.
+
+    Mirrors the materialized round-robin exactly: each live processor
+    plays up to a quantum per turn and drops out when its budget is
+    spent, in processor order.
+    """
+    access = hierarchy.access
+    remaining = list(budgets)
+    live = [cpu for cpu, n in enumerate(remaining) if n > 0]
+    while live:
+        next_live = []
+        for cpu in live:
+            n = min(quantum, remaining[cpu])
+            for ref in cursors[cpu].take(n).tolist():
+                access(cpu, ref)
+            remaining[cpu] -= n
+            if remaining[cpu] > 0:
+                next_live.append(cpu)
+        live = next_live
+
+
+def _kernel_phase(session, cursors, budgets, quantum: int) -> None:
+    """One phase through the persistent kernel machine, windowed.
+
+    While every live processor has at least a quantum left, a window
+    (a common multiple of the quantum, capped by the chunk knob) is
+    pulled per processor and replayed in one kernel call — the
+    kernel's internal round-robin over equal-length windows
+    concatenates to the global schedule.  The ragged tail (some
+    processor under a quantum from exhaustion) is replayed one
+    round at a time, which reproduces drop-out exactly.
+    """
+    n_procs = len(budgets)
+    window = _window_refs(quantum)
+    remaining = list(budgets)
+    live = [cpu for cpu, n in enumerate(remaining) if n > 0]
+    while live:
+        floor = min(remaining[cpu] for cpu in live)
+        arrays: list[np.ndarray | None] = [None] * n_procs
+        if floor >= quantum:
+            take = min(window, floor - (floor % quantum))
+            for cpu in live:
+                arrays[cpu] = cursors[cpu].take(take)
+                remaining[cpu] -= take
+        else:
+            # Tail round: every live processor plays one (possibly
+            # short) turn; the shortest drops out afterwards.
+            for cpu in live:
+                turn = min(quantum, remaining[cpu])
+                arrays[cpu] = cursors[cpu].take(turn)
+                remaining[cpu] -= turn
+        session.run(arrays, quantum)
+        live = [cpu for cpu in live if remaining[cpu] > 0]

@@ -20,7 +20,13 @@ counter vectors**, not just miss totals:
   per-L2 side counter, the bus totals and the per-line C2C footprint;
 - :func:`oracle_stack_histogram` — an O(n·m) move-to-front stack
   distance recount diffed against
-  :class:`repro.memsys.stackdist.StackDistanceProfiler` (both paths);
+  :class:`repro.memsys.stackdist.StackDistanceProfiler` (both paths),
+  and against the chunk-merged streaming histogram
+  (:func:`diff_stackdist_stream`);
+- :func:`diff_miss_curve_stream` — the chunked carried-state sweep
+  (:func:`repro.memsys.stream.simulate_miss_curve_stream`, both
+  replay paths) diffed point-for-point against the materialized
+  sweep;
 - :class:`OracleStoreBuffer` — a store buffer that rescans its whole
   issue history on every store (no deque, no lazy popping), diffed
   per-issue against :class:`repro.memsys.storebuffer.StoreBuffer`;
@@ -247,6 +253,67 @@ def diff_miss_curve(
     return DiffReport(name=name, n_refs=n_refs, checks=len(sizes))
 
 
+def diff_miss_curve_stream(
+    trace,
+    sizes: list[int],
+    kind: str,
+    assoc: int = 4,
+    block: int = 64,
+    warmup_fraction: float = 0.2,
+    chunk_refs: int | None = None,
+    name: str = "miss-curve-stream",
+) -> DiffReport:
+    """Diff streamed miss-curve replay against the materialized sweep.
+
+    Chunks the trace (several boundaries, including ones that land
+    inside the warmup window) and runs
+    :func:`repro.memsys.stream.simulate_miss_curve_stream` through
+    *both* replay paths, comparing every point's complete
+    ``(size, accesses, misses, mpki)`` vector against the
+    materialized :func:`repro.memsys.multisim.simulate_miss_curve` —
+    itself validated against the brute-force oracle by
+    :func:`diff_miss_curve`.
+    """
+    from repro.memsys.multisim import simulate_miss_curve
+    from repro.memsys.stream import simulate_miss_curve_stream
+
+    arr = np.asarray(
+        trace.tolist() if isinstance(trace, np.ndarray) else list(trace),
+        dtype=np.uint64,
+    )
+    chunk = chunk_refs if chunk_refs is not None else max(1, int(arr.size) // 7)
+    baseline = simulate_miss_curve(
+        arr, sizes, kind=kind, assoc=assoc, block=block,
+        warmup_fraction=warmup_fraction, fastpath=True,
+    )
+    base_vectors = [(p.size, p.accesses, p.misses, p.mpki) for p in baseline]
+    for fastpath in (True, False):
+        chunks = (
+            arr[start : start + chunk] for start in range(0, int(arr.size), chunk)
+        )
+        streamed = simulate_miss_curve_stream(
+            chunks, int(arr.size), sizes, kind=kind, assoc=assoc,
+            block=block, warmup_fraction=warmup_fraction, fastpath=fastpath,
+        )
+        for i, point in enumerate(streamed):
+            got = (point.size, point.accesses, point.misses, point.mpki)
+            want = base_vectors[i]
+            if got != want:
+                path = "fastpath" if fastpath else "scalar"
+                return DiffReport(
+                    name=name, n_refs=int(arr.size), checks=2 * len(sizes),
+                    divergence=Divergence(
+                        index=i,
+                        detail=(
+                            f"size {sizes[i]}: streamed {path} {got}, "
+                            f"materialized {want} (chunk={chunk}; vectors "
+                            f"are size/accesses/misses/mpki)"
+                        ),
+                    ),
+                )
+    return DiffReport(name=name, n_refs=int(arr.size), checks=2 * len(sizes))
+
+
 # -- oracle 2: stack-distance recount ---------------------------------------
 
 
@@ -271,6 +338,51 @@ def oracle_stack_histogram(blocks) -> dict[int, int]:
         stack.insert(0, block)
         hist[depth] = hist.get(depth, 0) + 1
     return hist
+
+
+def diff_stackdist_stream(
+    blocks, chunk_refs: int | None = None, name: str = "stackdist-stream"
+) -> DiffReport:
+    """Diff the chunk-merged histogram against the O(n·m) recount.
+
+    Feeds the blocks to a *streaming*
+    :class:`repro.memsys.stackdist.StackDistanceProfiler` in several
+    chunks (so carried-stack merging across boundaries is exercised),
+    then compares the merged histogram against both the literal
+    move-to-front recount and the one-shot offline pass.
+    """
+    from repro.memsys.stackdist import StackDistanceProfiler
+
+    blocks_list = blocks.tolist() if isinstance(blocks, np.ndarray) else list(blocks)
+    chunk = chunk_refs if chunk_refs is not None else max(1, len(blocks_list) // 7)
+    streaming = StackDistanceProfiler(streaming=True)
+    for start in range(0, len(blocks_list), chunk):
+        streaming.feed(blocks_list[start : start + chunk])
+    merged = streaming.histogram()
+    oracle = oracle_stack_histogram(blocks_list)
+    one_shot = StackDistanceProfiler()
+    one_shot.feed(blocks_list)
+    offline = one_shot.histogram()
+    for label, other in (("oracle recount", oracle), ("one-shot pass", offline)):
+        if merged != other:
+            diffs = sorted(
+                d for d in set(merged) | set(other)
+                if merged.get(d, 0) != other.get(d, 0)
+            )
+            first = diffs[0]
+            return DiffReport(
+                name=name, n_refs=len(blocks_list), checks=2,
+                divergence=Divergence(
+                    index=first,
+                    detail=(
+                        f"chunk-merged histogram[{first}] = "
+                        f"{merged.get(first, 0)}, {label} = "
+                        f"{other.get(first, 0)} ({len(diffs)} buckets differ, "
+                        f"chunk={chunk})"
+                    ),
+                ),
+            )
+    return DiffReport(name=name, n_refs=len(blocks_list), checks=2)
 
 
 def diff_stackdist(blocks, name: str = "stackdist") -> DiffReport:
@@ -1002,6 +1114,7 @@ class FigureDiffConfig:
 
     fig_id: str
     mode: str                    # "hierarchy" | "miss_curve" | "stackdist"
+                                 # | "miss_curve_stream" | "stackdist_stream"
     workload: str = "specjbb"
     scale: int | None = None
     n_procs: int = 4
@@ -1031,8 +1144,13 @@ FIGURE_DIFF_CONFIGS: list[FigureDiffConfig] = [
     FigureDiffConfig("fig10", "hierarchy", "specjbb", None, n_procs=4,
                      with_gc_stream=True),
     FigureDiffConfig("fig11", "stackdist", "specjbb", 8, n_procs=1),
+    FigureDiffConfig("fig11", "stackdist_stream", "specjbb", 8, n_procs=1),
     FigureDiffConfig("fig12", "miss_curve", "ecperf", 8, n_procs=1, kind="instr"),
+    FigureDiffConfig("fig12", "miss_curve_stream", "ecperf", 8, n_procs=1,
+                     kind="instr"),
     FigureDiffConfig("fig13", "miss_curve", "specjbb", 1, n_procs=1, kind="data"),
+    FigureDiffConfig("fig13", "miss_curve_stream", "specjbb", 1, n_procs=1,
+                     kind="data"),
     FigureDiffConfig("fig14", "hierarchy", "specjbb", None, n_procs=4),
     FigureDiffConfig("fig15", "hierarchy", "ecperf", None, n_procs=4),
     FigureDiffConfig("fig16", "hierarchy", "ecperf", None, n_procs=4,
@@ -1100,9 +1218,17 @@ def run_figure_diffcheck(
             merged, DIFF_SWEEP_SIZES, kind=config.kind,
             warmup_fraction=sim.warmup_fraction, name=name,
         )
+    if config.mode == "miss_curve_stream":
+        return diff_miss_curve_stream(
+            merged, DIFF_SWEEP_SIZES, kind=config.kind,
+            warmup_fraction=sim.warmup_fraction, name=name,
+        )
     if config.mode == "stackdist":
         blocks = block_stream(merged, config.kind).tolist()
         return diff_stackdist(blocks, name=name)
+    if config.mode == "stackdist_stream":
+        blocks = block_stream(merged, config.kind).tolist()
+        return diff_stackdist_stream(blocks, name=name)
     raise ConfigError(f"unknown diff mode {config.mode!r}")
 
 

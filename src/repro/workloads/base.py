@@ -12,7 +12,7 @@ stay flat lists of ints for the simulators.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Callable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -66,6 +66,61 @@ class TraceBundle:
     def per_cpu_lists(self) -> list[list[int]]:
         """Per-processor streams as lists of Python ints."""
         return [t.tolist() for t in self.per_cpu]
+
+
+@dataclass
+class ChunkedTrace:
+    """Chunked trace generation: declared lengths plus lazy chunk iterators.
+
+    The streaming counterpart of :class:`TraceBundle`: ``per_cpu[cpu]``
+    yields fixed-size ``uint64`` chunks whose concatenation is exactly
+    ``TraceBundle.per_cpu[cpu]``, but nothing is materialized until a
+    consumer pulls.  ``lengths`` are declared up front (they depend
+    only on the simulation config), so replay schedules and warmup
+    splits are computed before generation starts.  Iterators for
+    different processors are independent: the emission state behind
+    each (RNG stream, allocation cursors, stream builder) is
+    per-processor, so consumers may interleave them freely.
+    """
+
+    lengths: list[int]
+    per_cpu: list[Iterator[np.ndarray]]
+
+
+def emit_chunked_refs(
+    builder: "StreamBuilder",
+    target: int,
+    chunk_refs: int,
+    emit_txn: Callable[[], None],
+) -> Iterator[np.ndarray]:
+    """Drive a transaction emitter, yielding fixed-size ``uint64`` chunks.
+
+    Bit-identical to the materialized loop ``while len(builder.refs) <
+    target: emit_txn()`` followed by ``builder.refs[:target]``: the
+    emitter is called under exactly the same condition (pending plus
+    already-yielded references below target), so it consumes the RNG
+    identically, and flushing never touches the RNG.  The final
+    transaction's overshoot past ``target`` is dropped, exactly like
+    the materialized truncation.  ``builder.refs`` may be pre-seeded
+    (pre-warm preambles) and is consumed destructively, so the buffer
+    never grows past one transaction beyond ``chunk_refs``.
+    """
+    if target < 0:
+        raise WorkloadError("target must be non-negative")
+    if chunk_refs < 1:
+        raise WorkloadError("chunk_refs must be >= 1")
+    refs = builder.refs
+    emitted = 0
+    while emitted + len(refs) < target:
+        emit_txn()
+        while len(refs) >= chunk_refs and emitted + chunk_refs <= target:
+            yield np.array(refs[:chunk_refs], dtype=np.uint64)
+            del refs[:chunk_refs]
+            emitted += chunk_refs
+    del refs[target - emitted :]
+    while refs:
+        yield np.array(refs[:chunk_refs], dtype=np.uint64)
+        del refs[:chunk_refs]
 
 
 class StreamBuilder:
@@ -241,6 +296,16 @@ class Workload(Protocol):
         self, n_procs: int, sim: SimConfig, rng_factory: RngFactory
     ) -> TraceBundle:
         """Reference streams for ``n_procs`` application processors."""
+        ...
+
+    def generate_chunks(
+        self, n_procs: int, sim: SimConfig, rng_factory: RngFactory, chunk_refs: int
+    ) -> ChunkedTrace:
+        """The same streams as :meth:`generate`, as lazy chunk iterators.
+
+        Concatenating processor ``cpu``'s chunks must reproduce
+        ``generate(...).per_cpu[cpu]`` bit-for-bit.
+        """
         ...
 
     def live_memory_mb(self, scale: int) -> float:

@@ -39,9 +39,11 @@ from repro.osmodel.netstack import KernelNetworkModel
 from repro.rng import RngFactory
 from repro.workloads import layout
 from repro.workloads.base import (
+    ChunkedTrace,
     StreamBuilder,
     TraceBundle,
     code_sweep_refs,
+    emit_chunked_refs,
     region_sweep_refs,
 )
 from repro.workloads.codepath import CodeLayout, jvm_runtime_regions
@@ -142,6 +144,61 @@ class EcperfWorkload:
                 "connection_pool": server.connections.size,
             },
         )
+
+    def generate_chunks(
+        self, n_procs: int, sim: SimConfig, rng_factory: RngFactory, chunk_refs: int
+    ) -> ChunkedTrace:
+        """The :meth:`generate` streams as lazy fixed-size chunks.
+
+        Shares the thread registry, heap cursors, RNG streams, and
+        transaction bodies with the materialized path via
+        :func:`repro.workloads.base.emit_chunked_refs`; each
+        processor's concatenated chunks are bit-identical to
+        ``generate(...).per_cpu[cpu]``, and the per-processor
+        iterators may be interleaved (the bean cache's hit bookkeeping
+        never feeds back into addresses).
+        """
+        if n_procs < 1:
+            raise WorkloadError("n_procs must be >= 1")
+        heap = GenerationalHeap(self._heap_layout)
+        ApplicationServer.tuned_for(n_procs)
+        registry = ThreadRegistry(n_procs)
+        n_threads = n_procs * self.threads_per_proc
+        share = 1.0 / n_threads
+        threads = [registry.spawn(cursor=heap.cursor(share)) for _ in range(n_threads)]
+        lengths: list[int] = []
+        per_cpu: list = []
+        for cpu in range(n_procs):
+            rng = rng_factory.stream(f"ecperf.cpu{cpu}")
+            builder = StreamBuilder(rng)
+            cpu_threads = [t for t in threads if t.cpu == cpu]
+            prewarm = self._prewarm_refs(cpu_threads)
+            if len(prewarm) <= 0.8 * sim.warmup_fraction * sim.refs_per_proc:
+                builder.refs.extend(prewarm)
+            per_cpu.append(
+                emit_chunked_refs(
+                    builder,
+                    sim.refs_per_proc,
+                    chunk_refs,
+                    self._bbop_emitter(builder, cpu_threads, n_threads),
+                )
+            )
+            lengths.append(sim.refs_per_proc)
+        return ChunkedTrace(lengths=lengths, per_cpu=per_cpu)
+
+    def _bbop_emitter(self, builder: StreamBuilder, cpu_threads, n_threads: int):
+        """One round-robin BBop per call, same RNG draws as the
+        materialized loop body."""
+        turn = 0
+
+        def emit() -> None:
+            nonlocal turn
+            thread = cpu_threads[turn % len(cpu_threads)]
+            turn += 1
+            txn = pick_txn(builder.rng, ECPERF_MIX)
+            self._bbop(builder, thread, txn, n_threads)
+
+        return emit
 
     def _prewarm_refs(self, cpu_threads) -> list[int]:
         """Pre-warm preamble: hot code, bean-cache warm core, buffers.

@@ -31,9 +31,11 @@ from repro.rng import RngFactory
 from repro.units import mb
 from repro.workloads import layout
 from repro.workloads.base import (
+    ChunkedTrace,
     StreamBuilder,
     TraceBundle,
     code_sweep_refs,
+    emit_chunked_refs,
     region_sweep_refs,
 )
 from repro.workloads.codepath import CodeLayout, jvm_runtime_regions
@@ -142,6 +144,63 @@ class SpecJbbWorkload:
                 "code_bytes": self.code.total_code_bytes,
             },
         )
+
+    def generate_chunks(
+        self, n_procs: int, sim: SimConfig, rng_factory: RngFactory, chunk_refs: int
+    ) -> ChunkedTrace:
+        """The :meth:`generate` streams as lazy fixed-size chunks.
+
+        Same threads, heap cursors, and per-processor RNG streams as
+        the materialized path; the emission loop is shared with it via
+        :func:`repro.workloads.base.emit_chunked_refs`, so each
+        processor's concatenated chunks are bit-identical to
+        ``generate(...).per_cpu[cpu]``.  Per-processor iterators are
+        independent (cursor-local allocation, stateless RNG streams)
+        and may be interleaved.
+        """
+        if n_procs < 1:
+            raise WorkloadError("n_procs must be >= 1")
+        heap = GenerationalHeap(self._heap_layout)
+        registry = ThreadRegistry(n_procs)
+        share = 1.0 / self.warehouses
+        threads = [registry.spawn(cursor=heap.cursor(share)) for _ in range(self.warehouses)]
+        lengths: list[int] = []
+        per_cpu: list = []
+        for cpu in range(n_procs):
+            rng = rng_factory.stream(f"specjbb.cpu{cpu}")
+            builder = StreamBuilder(rng)
+            cpu_threads = [t for t in threads if t.cpu == cpu]
+            if not cpu_threads:
+                lengths.append(0)
+                per_cpu.append(iter(()))
+                continue
+            prewarm = self._prewarm_refs(cpu_threads)
+            if len(prewarm) <= 0.8 * sim.warmup_fraction * sim.refs_per_proc:
+                builder.refs.extend(prewarm)
+            per_cpu.append(
+                emit_chunked_refs(
+                    builder,
+                    sim.refs_per_proc,
+                    chunk_refs,
+                    self._txn_emitter(builder, cpu_threads),
+                )
+            )
+            lengths.append(sim.refs_per_proc)
+        return ChunkedTrace(lengths=lengths, per_cpu=per_cpu)
+
+    def _txn_emitter(self, builder: StreamBuilder, cpu_threads):
+        """One round-robin transaction per call, same RNG draws as
+        the materialized loop body."""
+        turn = 0
+
+        def emit() -> None:
+            nonlocal turn
+            thread = cpu_threads[turn % len(cpu_threads)]
+            turn += 1
+            txn = pick_txn(builder.rng, SPECJBB_MIX)
+            self._transaction(builder, thread, txn)
+
+        return emit
 
     def _prewarm_refs(self, cpu_threads) -> list[int]:
         """Pre-warm preamble: hot code + this processor's hot data.

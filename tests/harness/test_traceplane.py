@@ -467,3 +467,42 @@ def test_plane_obs_counters(tmp_path, obs_enabled):
     assert counters["harness/trace_plane/bytes_shared"] == ref.nbytes
     assert counters["harness/trace_plane/attaches"] == 2
     assert counters["harness/trace_plane/pickle_bytes_avoided"] == 2 * ref.nbytes
+
+
+# -- publish never materializes the merged payload ---------------------------
+
+
+def test_publish_never_concatenates_the_bundle(tmp_path, monkeypatch):
+    """Publishing streams per-CPU arrays into the segment one by one.
+
+    The spill cliff this pins down: publish used to build one merged
+    payload array before deciding shm vs spill, doubling peak memory
+    at exactly the trace sizes the spill path exists for.  Outlawing
+    payload-sized ``np.concatenate`` calls for the whole publish
+    proves the payload is written per-array, on both backends, with
+    round-trips still bit-identical.  (Tiny concatenations — RNG seed
+    derivation during generation — stay legal; the cliff is about the
+    payload.)
+    """
+    spec = _spec(n_procs=2)
+    reference = spec.generate()
+    payload_bytes = sum(t.nbytes for t in reference.per_cpu)
+    original = np.concatenate
+
+    def guarded(arrays, *args, **kwargs):
+        total = sum(np.asarray(a).nbytes for a in arrays)
+        assert total < payload_bytes, (
+            f"publish concatenated {total} bytes — the merged-payload "
+            "cliff is back"
+        )
+        return original(arrays, *args, **kwargs)
+
+    monkeypatch.setattr(traceplane.np, "concatenate", guarded)
+    for backend, kwargs in (("shm", {}), ("spill", {"spill_bytes": 1})):
+        with TracePlane(root=tmp_path / backend, **kwargs) as plane:
+            ref = plane.publish(spec)
+            assert ref.backend == backend
+            got = attach(ref)
+            for mine, theirs in zip(got.per_cpu, reference.per_cpu):
+                assert np.array_equal(mine, theirs)
+            detach_all()

@@ -16,14 +16,20 @@ TEST_SIM = SimConfig(seed=1234, refs_per_proc=2_000, warmup_fraction=0.5)
 
 
 def test_all_13_figures_are_covered():
-    ids = [c.fig_id for c in FIGURE_DIFF_CONFIGS]
+    ids = sorted({c.fig_id for c in FIGURE_DIFF_CONFIGS})
     assert ids == [f"fig{n:02d}" for n in range(4, 17)]
     modes = {c.mode for c in FIGURE_DIFF_CONFIGS}
-    assert modes == {"hierarchy", "miss_curve", "stackdist"}
+    assert modes == {
+        "hierarchy", "miss_curve", "stackdist",
+        "miss_curve_stream", "stackdist_stream",
+    }
     # The special machine setups all have coverage.
     assert any(c.include_os for c in FIGURE_DIFF_CONFIGS)
     assert any(c.with_gc_stream for c in FIGURE_DIFF_CONFIGS)
     assert any(c.procs_per_l2 > 1 for c in FIGURE_DIFF_CONFIGS)
+    # Every streamed sweep/profile path has an oracle-backed row too.
+    streamed = {c.fig_id for c in FIGURE_DIFF_CONFIGS if c.mode.endswith("_stream")}
+    assert streamed == {"fig11", "fig12", "fig13"}
 
 
 @pytest.mark.parametrize(
@@ -38,7 +44,9 @@ def test_figure_config_diffcheck_green(config):
 
 def test_run_all_subset_preserves_declaration_order():
     reports = run_all_figure_diffchecks(["fig16", "fig11"], sim=TEST_SIM)
-    assert [r.name for r in reports] == ["fig11/stackdist", "fig16/hierarchy"]
+    assert [r.name for r in reports] == [
+        "fig11/stackdist", "fig11/stackdist_stream", "fig16/hierarchy"
+    ]
     assert all(r.ok for r in reports)
 
 
