@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Load-plane saturation study: find the knee of a closed system.
+
+Sweeps a closed-loop population ladder through the appserver's thread
+and connection pools, prints the saturation report (measured vs M/M/c
+throughput, residence time, streaming percentiles, pool utilization),
+and compares the measured knee against the operational prediction
+N* = X_max * (Z + sum of demands).  Past the knee every added user
+buys response time instead of throughput — the sizing rule the paper
+applies to middleware tiers.
+
+Run:  python examples/loadplane_saturation.py
+"""
+
+from repro.loadplane import (
+    SweepConfig,
+    closed_mmc_metrics,
+    run_saturation,
+)
+
+SWEEP = SweepConfig(
+    populations=(8, 32, 128, 512, 2048, 8192),
+    threads=8,
+    connections=8,
+    service_s=0.02,
+    think_s=1.2,
+    windows=8,
+    window_s=2.0,
+    seed=1234,
+)
+
+
+def main() -> None:
+    report = run_saturation(SWEEP, jobs=2)
+    print(report.render(plot=True))
+    print()
+    bottleneck = SWEEP.bottleneck()
+    print(
+        f"analytic knee N* = X_max*(Z+D) = {bottleneck.knee_users:.0f} users; "
+        f"measured knee at {report.knee_users} users."
+    )
+    # The analytic oracle at one pre-knee point, for comparison.
+    n_ref = 128
+    oracle = closed_mmc_metrics(
+        n_users=n_ref,
+        servers=SWEEP.threads,
+        service_s=SWEEP.service_s,
+        think_s=SWEEP.think_s,
+    )
+    print(
+        f"closed M/M/c oracle at N={n_ref}: "
+        f"X={oracle.throughput:.1f}/s, R={oracle.response_s * 1e3:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

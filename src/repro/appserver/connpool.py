@@ -24,6 +24,7 @@ class ConnectionPool:
             raise ConfigError("connection pool size must be positive")
         self.size = size
         self.in_use = 0
+        self.peak_in_use = 0
         self.acquires = 0
         self.blocked = 0
 
@@ -34,6 +35,8 @@ class ConnectionPool:
             self.blocked += 1
             return False
         self.in_use += 1
+        if self.in_use > self.peak_in_use:
+            self.peak_in_use = self.in_use
         return True
 
     def release(self) -> None:
@@ -57,8 +60,15 @@ class ConnectionPool:
         equivalents.  Demand beyond ``pool_size`` translates into
         waiting, with a smooth queueing onset below saturation.
 
-        >>> ConnectionPool.wait_fraction(2, 8, 0.5) < 0.05
-        True
+        With no more threads than connections every acquire succeeds
+        immediately — in particular the degenerate single-client pool
+        (``n_procs == pool_size == 1``) waits exactly never, whatever
+        the hold fraction.
+
+        >>> ConnectionPool.wait_fraction(2, 8, 0.5)
+        0.0
+        >>> ConnectionPool.wait_fraction(1, 1, 0.99)
+        0.0
         >>> ConnectionPool.wait_fraction(15, 8, 0.8) > 0.2
         True
         """
@@ -66,6 +76,8 @@ class ConnectionPool:
             raise ConfigError("n_procs and pool_size must be positive")
         if not 0.0 <= hold_fraction <= 1.0:
             raise ConfigError("hold_fraction must be in [0, 1]")
+        if n_procs <= pool_size:
+            return 0.0  # a connection per thread: nobody ever waits
         demand = n_procs * hold_fraction
         if demand <= 0:
             return 0.0

@@ -5,7 +5,7 @@ factory — ``jmmw campaign run <study>`` looks the name up here.  Cell
 functions are module-level (workers import them by reference) and pure
 given their arguments, so every executor produces bit-identical cells.
 
-Two studies ship:
+Three studies ship:
 
 - ``smoke`` — arithmetic only, milliseconds per cell; exists so the
   campaign machinery (scheduling, resume, chaos, CLI exit codes) can
@@ -14,7 +14,11 @@ Two studies ship:
   (Section 4): MOSI vs MSI coherence over ECperf and SPECjbb, each
   point repeated with perturbed seeds per the Alameldeen–Wood
   variability methodology, reporting machine-wide data MPKI,
-  cache-to-cache transfer ratio and absolute L2 misses.
+  cache-to-cache transfer ratio and absolute L2 misses;
+- ``saturation`` — workload x population cells of the closed-loop
+  load plane (:mod:`repro.loadplane`), reporting throughput, the
+  operational response time and pool utilizations per point, with
+  reps perturbing the event-stream seed.
 """
 
 from __future__ import annotations
@@ -58,6 +62,48 @@ def ablation_cell(
     }
 
 
+def loadplane_cell(
+    point: dict,
+    rep: int,
+    *,
+    threads: int = 8,
+    connections: int = 8,
+    service_s: float = 0.02,
+    think_s: float = 1.2,
+    windows: int = 6,
+    window_s: float = 1.0,
+) -> dict:
+    """One closed-loop load-plane point: simulate and report rates.
+
+    The rep index perturbs the event-stream seed only, so repetitions
+    sample the queueing model's intrinsic variability around the same
+    operating point.
+    """
+    from repro.loadplane import LoadPlaneConfig, simulate_loadplane
+
+    config = LoadPlaneConfig(
+        n_users=point["users"],
+        threads=threads,
+        connections=connections,
+        service_s=service_s,
+        think_s=think_s,
+        workload=point["workload"],
+        windows=windows,
+        window_s=window_s,
+        seed=1234 + rep,
+    )
+    result = simulate_loadplane(config)
+    stable = result.stable
+    return {
+        "throughput": stable.throughput,
+        "response_s": stable.response_time_s,
+        "p95_s": stable.p95_s,
+        "thread_util": stable.thread_utilization,
+        "conn_util": stable.conn_utilization,
+        "events": float(result.events),
+    }
+
+
 def _smoke_spec(reps: int, quick: bool) -> CampaignSpec:
     return CampaignSpec(
         name="smoke",
@@ -90,10 +136,30 @@ def _ablation_spec(reps: int, quick: bool) -> CampaignSpec:
     )
 
 
+def _saturation_spec(reps: int, quick: bool) -> CampaignSpec:
+    return CampaignSpec(
+        name="saturation",
+        table=RunTable(
+            name="saturation",
+            axes=(
+                Axis("workload", ("uniform", "ecperf")),
+                Axis(
+                    "users",
+                    (32, 256, 1024) if quick else (100, 1_000, 10_000, 100_000),
+                ),
+            ),
+            reps=reps,
+        ),
+        fn=loadplane_cell,
+        kwargs={"windows": 4 if quick else 6, "window_s": 0.5 if quick else 1.0},
+    )
+
+
 #: study name -> factory(reps, quick) -> CampaignSpec
 STUDIES = {
     "smoke": _smoke_spec,
     "ablation": _ablation_spec,
+    "saturation": _saturation_spec,
 }
 
 

@@ -555,6 +555,73 @@ def cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0 if result.complete else EXIT_PARTIAL_CAMPAIGN
 
 
+def cmd_loadplane(args: argparse.Namespace) -> int:
+    """Run a load-plane saturation sweep and print the report.
+
+    Exit codes: 0 report printed, 2 bad configuration, 4 one or more
+    sweep points failed, 130 drained interrupt.
+    """
+    from repro.errors import CampaignInterrupted, ConfigError, HarnessError
+    from repro.harness import content_key
+    from repro.loadplane import FULL_POPULATIONS, QUICK_POPULATIONS, SweepConfig
+    from repro.loadplane.sweep import run_saturation
+
+    populations = tuple(args.users) if args.users else (
+        QUICK_POPULATIONS if args.quick else FULL_POPULATIONS
+    )
+    try:
+        sweep = SweepConfig(
+            populations=populations,
+            threads=args.threads,
+            connections=args.connections,
+            service_s=args.service_ms / 1e3,
+            think_s=args.think_s,
+            workload=args.workload,
+            windows=args.windows,
+            window_s=args.window_s,
+            seed=args.seed,
+        )
+    except ConfigError as exc:
+        print(f"bad sweep configuration: {exc}", file=sys.stderr)
+        return 2
+    cache, telemetry = _make_harness(args)
+    signature = content_key(
+        kind="loadplane/sweep",
+        populations=list(sweep.populations),
+        threads=sweep.threads,
+        connections=sweep.connections,
+        service_s=sweep.service_s,
+        think_s=sweep.think_s,
+        workload=sweep.workload,
+        windows=sweep.windows,
+        window_s=sweep.window_s,
+        warmup_fraction=sweep.warmup_fraction,
+        seed=sweep.seed,
+    )
+    manifest = _open_manifest(args, signature)
+    try:
+        report = run_saturation(
+            sweep,
+            jobs=args.jobs,
+            cache=cache,
+            telemetry=telemetry,
+            manifest=manifest,
+        )
+    except CampaignInterrupted as interrupt:
+        return _finish_interrupted(interrupt, manifest, telemetry)
+    except HarnessError as exc:
+        print(f"{exc}", file=sys.stderr)
+        telemetry.close()
+        manifest.close()
+        return 4
+    print(report.render(plot=not args.no_plot))
+    print(telemetry.render_summary(), file=sys.stderr)
+    _finish_obs()
+    telemetry.close()
+    manifest.close()
+    return 0
+
+
 def cmd_info(_: argparse.Namespace) -> int:
     """Print the modeled system inventory."""
     print("Reproduction of 'Memory System Behavior of Java-Based Middleware'")
@@ -794,6 +861,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_study_flags(report)
     report.set_defaults(fn=cmd_campaign_report)
+
+    loadplane = sub.add_parser(
+        "loadplane",
+        help="closed-loop saturation sweep over the appserver stations",
+    )
+    loadplane.add_argument(
+        "--quick", action="store_true",
+        help="small population ladder (seconds; crosses the default knee)",
+    )
+    loadplane.add_argument(
+        "--users", type=int, nargs="*", default=None, metavar="N",
+        help="explicit population ladder (overrides the quick/full default)",
+    )
+    loadplane.add_argument(
+        "--workload", choices=["uniform", "ecperf", "specjbb"],
+        default="uniform",
+        help="transaction mix shaping per-type service demand (default "
+        "uniform: the single-class mix the analytic oracles match exactly)",
+    )
+    loadplane.add_argument("--threads", type=int, default=8, metavar="C",
+                           help="worker thread pool size (default 8)")
+    loadplane.add_argument("--connections", type=int, default=8, metavar="C",
+                           help="DB connection pool size (default 8)")
+    loadplane.add_argument(
+        "--service-ms", type=float, default=20.0, metavar="MS",
+        help="mix-mean service demand per operation (default 20 ms)",
+    )
+    loadplane.add_argument(
+        "--think-s", type=float, default=1.2, metavar="S",
+        help="mean exponential think time (default 1.2 s, the driver "
+        "model's)",
+    )
+    loadplane.add_argument("--windows", type=int, default=8, metavar="W",
+                           help="measurement windows per point (default 8)")
+    loadplane.add_argument(
+        "--window-s", type=float, default=2.0, metavar="S",
+        help="window length in simulated seconds (default 2.0)",
+    )
+    loadplane.add_argument("--seed", type=int, default=1234)
+    loadplane.add_argument(
+        "--no-plot", action="store_true",
+        help="omit the ASCII throughput curve from the report",
+    )
+    _add_harness_flags(loadplane)
+    loadplane.set_defaults(fn=cmd_loadplane)
 
     info = sub.add_parser("info", help="show the modeled system inventory")
     info.set_defaults(fn=cmd_info)

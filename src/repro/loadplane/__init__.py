@@ -1,0 +1,86 @@
+"""The load plane: closed/open-loop request generation at scale.
+
+Drives the :mod:`repro.appserver` station model (thread pool -> CPU ->
+connection pool -> DB) with up to a million emulated users, kept as
+numpy columns rather than objects, via an exact Gillespie
+discrete-event engine whose per-event cost is independent of the
+population.  Windowed stable-period statistics are audited against
+the operational laws on every window, and whole runs are cross-checked
+against closed-form queueing oracles (M/M/1, M/M/c, the closed
+machine-repairman chain) — see :mod:`repro.loadplane.analytic`.
+
+Entry points: :func:`simulate_loadplane` for one run,
+:func:`run_saturation` for a harness-parallel offered-load sweep with
+bottleneck naming and knee detection (``jmmw loadplane`` on the CLI).
+"""
+
+from repro.loadplane.analytic import (
+    Bottleneck,
+    ClosedMetrics,
+    OpenMetrics,
+    bottleneck_analysis,
+    closed_mmc_metrics,
+    erlang_c,
+    interactive_response_time,
+    littles_law,
+    measured_knee,
+    mm1_metrics,
+    mmc_metrics,
+    utilization_law,
+)
+from repro.loadplane.engine import (
+    LoadPlaneConfig,
+    LoadPlaneResult,
+    profile_for,
+    simulate_loadplane,
+)
+from repro.loadplane.histogram import LatencyHistogram
+from repro.loadplane.state import IN_SYSTEM_PHASES, FifoRing, IndexPool, UserColumns
+from repro.loadplane.sweep import (
+    FULL_POPULATIONS,
+    QUICK_POPULATIONS,
+    SaturationReport,
+    SweepConfig,
+    run_saturation,
+    sweep_tasks,
+)
+from repro.loadplane.windows import (
+    StableAggregate,
+    WindowStats,
+    aggregate_stable,
+    operational_identity_errors,
+)
+
+__all__ = [
+    "Bottleneck",
+    "ClosedMetrics",
+    "OpenMetrics",
+    "bottleneck_analysis",
+    "closed_mmc_metrics",
+    "erlang_c",
+    "interactive_response_time",
+    "littles_law",
+    "measured_knee",
+    "mm1_metrics",
+    "mmc_metrics",
+    "utilization_law",
+    "LoadPlaneConfig",
+    "LoadPlaneResult",
+    "profile_for",
+    "simulate_loadplane",
+    "LatencyHistogram",
+    "IN_SYSTEM_PHASES",
+    "FifoRing",
+    "IndexPool",
+    "UserColumns",
+    "FULL_POPULATIONS",
+    "QUICK_POPULATIONS",
+    "SaturationReport",
+    "SweepConfig",
+    "run_saturation",
+    "sweep_tasks",
+    "StableAggregate",
+    "WindowStats",
+    "aggregate_stable",
+    "operational_identity_errors",
+]

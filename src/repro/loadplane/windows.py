@@ -1,0 +1,180 @@
+"""Windowed stable-period statistics and the operational-law audit.
+
+The load plane reports per-window throughput, utilization and latency
+percentiles, then aggregates the *stable* windows (after a declared
+warmup fraction) — the memtier-style stable-period methodology.
+
+Every quantity is accounted **twice**, by independent mechanisms:
+
+- *area integrals*: between events the engine integrates the running
+  counters (users in system, busy threads, busy connections) over
+  time — ``area = sum n(t) dt``;
+- *per-user residence*: each completion adds its sojourn clipped to
+  the window, and window close flushes the still-resident users'
+  partial sojourns.
+
+For a correctly-accounted simulation the two agree to float rounding
+on **every** window, which makes the operational laws — Little's law
+``N = X * R`` and the utilization law ``U = X * s`` with ``R``/``s``
+the residence-derived times — *exact identities*, not statistical
+checks.  :func:`operational_identity_errors` audits them; a seeded
+accounting defect (see the oracle test suite) breaks the audit loudly
+while leaving throughput plausible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.loadplane.histogram import LatencyHistogram
+
+#: Relative tolerance for the area-vs-residence float comparison.
+IDENTITY_RTOL = 1e-9
+
+#: ... plus an absolute floor in user-seconds for near-empty windows.
+IDENTITY_ATOL = 1e-9
+
+
+@dataclass
+class WindowStats:
+    """One window's raw accounting (mutable while the window is open)."""
+
+    start_s: float
+    end_s: float
+    completions: int = 0
+    arrivals: int = 0
+    drops: int = 0
+    #: Time-integral of users in the station system (area accounting).
+    area_n: float = 0.0
+    #: Per-user residence in the system, clipped to the window.
+    residence_n: float = 0.0
+    area_busy_threads: float = 0.0
+    residence_busy_threads: float = 0.0
+    area_busy_conns: float = 0.0
+    residence_busy_conns: float = 0.0
+    #: Sum of full (unclipped) response times of window completions.
+    resp_sum_s: float = 0.0
+    hist: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def throughput(self) -> float:
+        """Completions per second (operational X)."""
+        return self.completions / self.duration_s
+
+    @property
+    def mean_in_system(self) -> float:
+        """Time-average users in the station system (operational N)."""
+        return self.area_n / self.duration_s
+
+    @property
+    def response_time_s(self) -> float:
+        """Operational response time R = N / X (residence per completion)."""
+        if self.completions == 0:
+            return 0.0
+        return self.residence_n / self.completions
+
+    def thread_utilization(self, threads: int) -> float:
+        return self.area_busy_threads / (threads * self.duration_s)
+
+    def conn_utilization(self, connections: int) -> float:
+        if connections <= 0:
+            return 0.0
+        return self.area_busy_conns / (connections * self.duration_s)
+
+
+def _mismatch(kind: str, w: WindowStats, area: float, residence: float) -> str:
+    return (
+        f"window [{w.start_s:g}, {w.end_s:g}) {kind}: area integral "
+        f"{area!r} != per-user residence {residence!r}"
+    )
+
+
+def operational_identity_errors(windows: list[WindowStats]) -> list[str]:
+    """Audit every window's operational-law identities.
+
+    Checks, per window, that the independently-accumulated area
+    integrals equal the per-user residence sums for the system
+    population (Little's law ``N = X * R``), busy threads and busy
+    connections (the utilization law ``U * c = X * s``).  An empty
+    list means every window passed.
+    """
+    errors = []
+    for w in windows:
+        pairs = (
+            ("users-in-system (Little)", w.area_n, w.residence_n),
+            ("busy threads (utilization law)",
+             w.area_busy_threads, w.residence_busy_threads),
+            ("busy connections (utilization law)",
+             w.area_busy_conns, w.residence_busy_conns),
+        )
+        for kind, area, residence in pairs:
+            scale = max(abs(area), abs(residence))
+            if abs(area - residence) > IDENTITY_RTOL * scale + IDENTITY_ATOL:
+                errors.append(_mismatch(kind, w, area, residence))
+    return errors
+
+
+@dataclass(frozen=True)
+class StableAggregate:
+    """Stable-period (post-warmup) summary across windows."""
+
+    windows: int
+    duration_s: float
+    completions: int
+    arrivals: int
+    drops: int
+    throughput: float
+    mean_in_system: float
+    response_time_s: float  # operational R = N / X
+    response_mean_s: float  # mean of completed response times
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    thread_utilization: float
+    conn_utilization: float
+
+
+def aggregate_stable(
+    windows: list[WindowStats],
+    warmup_fraction: float,
+    threads: int,
+    connections: int,
+) -> StableAggregate:
+    """Fold the post-warmup windows into one stable-period summary."""
+    if not windows:
+        raise ConfigError("no windows to aggregate")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigError("warmup_fraction must be in [0, 1)")
+    first = int(len(windows) * warmup_fraction)
+    stable = windows[first:]
+    duration = sum(w.duration_s for w in stable)
+    completions = sum(w.completions for w in stable)
+    hist = LatencyHistogram()
+    for w in stable:
+        hist.merge(w.hist)
+    area_n = sum(w.area_n for w in stable)
+    residence_n = sum(w.residence_n for w in stable)
+    busy_t = sum(w.area_busy_threads for w in stable)
+    busy_c = sum(w.area_busy_conns for w in stable)
+    p50, p95, p99 = hist.percentiles()
+    return StableAggregate(
+        windows=len(stable),
+        duration_s=duration,
+        completions=completions,
+        arrivals=sum(w.arrivals for w in stable),
+        drops=sum(w.drops for w in stable),
+        throughput=completions / duration,
+        mean_in_system=area_n / duration,
+        response_time_s=residence_n / completions if completions else 0.0,
+        response_mean_s=hist.mean_s,
+        p50_s=p50,
+        p95_s=p95,
+        p99_s=p99,
+        thread_utilization=busy_t / (threads * duration),
+        conn_utilization=busy_c / (connections * duration) if connections else 0.0,
+    )

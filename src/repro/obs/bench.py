@@ -362,6 +362,35 @@ def _stage_campaign_scheduler(sim: SimConfig) -> Callable[[], None]:
     return run
 
 
+def _stage_loadplane(sim: SimConfig) -> Callable[[], None]:
+    """One saturated closed-loop load-plane run.
+
+    A population past the knee (2000 users on 8 threads at 20 ms)
+    exercises every hot path of the Gillespie engine — rate ladder,
+    swap-remove station pools, FIFO handoff, window accounting and the
+    operational-law audit — at the event rate the saturation sweeps
+    sustain.  The horizon scales with the bench effort so a quick rep
+    still costs well above timer noise.
+    """
+    from repro.loadplane import LoadPlaneConfig, simulate_loadplane
+
+    config = LoadPlaneConfig(
+        n_users=2000,
+        threads=8,
+        connections=8,
+        service_s=0.02,
+        think_s=1.2,
+        windows=8 if sim.refs_per_proc >= 30_000 else 4,
+        window_s=1.0,
+        seed=sim.seed,
+    )
+
+    def run() -> None:
+        simulate_loadplane(config)
+
+    return run
+
+
 #: The declared suite: (stage name, factory(sim) -> timed callable).
 SUITE: list[tuple[str, Callable[[SimConfig], Callable[[], None]]]] = [
     ("fastpath/lru_miss_mask", _stage_lru_kernel),
@@ -385,6 +414,7 @@ SUITE: list[tuple[str, Callable[[SimConfig], Callable[[], None]]]] = [
     ("harness/sweep_plane", lambda sim: _stage_sweep(sim, plane_on=True)),
     ("memsys/stream_replay", _stage_stream_replay),
     ("campaign/scheduler", _stage_campaign_scheduler),
+    ("loadplane/closed_loop", _stage_loadplane),
 ]
 
 

@@ -57,7 +57,14 @@ class DriverModel:
         return self.injection_rate * self.orders_per_ir_per_s
 
     def required_concurrency(self, service_time_s: float) -> float:
-        """Little's law: concurrent requests to sustain the offered load."""
-        if service_time_s <= 0:
-            raise ConfigError("service_time_s must be positive")
+        """Little's law: concurrent requests to sustain the offered load.
+
+        ``service_time_s == 0`` is the legitimate infinitely-fast-server
+        limit, where the whole population sits in think: ``N = X * Z``.
+
+        >>> DriverModel(injection_rate=8, think_time_s=1.2).required_concurrency(0.0)
+        24.0
+        """
+        if service_time_s < 0:
+            raise ConfigError("service_time_s must be non-negative")
         return self.offered_ops_per_s * (service_time_s + self.think_time_s)

@@ -219,6 +219,84 @@ ECPERF_MIX: list[EcperfTxnType] = [
 ]
 
 
+@dataclass(frozen=True)
+class ServiceProfile:
+    """A mix reduced to what the load plane's queueing model needs.
+
+    Per transaction type: its probability in the mix, its service
+    *weight* (relative demand, normalized so the mix-mean is exactly
+    1 — scaling by a mean service time recovers per-type means), and
+    the share of that demand spent holding a database connection
+    (``db_share``; zero for SPECjbb, whose "database" is in-heap
+    trees, per Section 2.1).
+    """
+
+    names: tuple[str, ...]
+    probs: tuple[float, ...]
+    weights: tuple[float, ...]
+    db_share: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.names), len(self.probs), len(self.weights), len(self.db_share)}
+        if lengths != {len(self.names)} or not self.names:
+            raise ConfigError("profile columns must be non-empty and equal-length")
+        if any(p <= 0 for p in self.probs) or abs(sum(self.probs) - 1.0) > 1e-9:
+            raise ConfigError("type probabilities must be positive and sum to 1")
+        if any(w <= 0 for w in self.weights):
+            raise ConfigError("service weights must be positive")
+        mean = sum(p * w for p, w in zip(self.probs, self.weights))
+        if abs(mean - 1.0) > 1e-9:
+            raise ConfigError(f"mix-mean weight must be 1, got {mean!r}")
+        if any(not 0.0 <= d < 1.0 for d in self.db_share):
+            raise ConfigError("db_share must be in [0, 1)")
+
+
+#: Single-class unit profile — the degenerate mix the M/M/c oracle
+#: tests use (one type, no DB phase, mean demand exactly 1).
+UNIFORM_PROFILE = ServiceProfile(
+    names=("uniform",), probs=(1.0,), weights=(1.0,), db_share=(0.0,)
+)
+
+
+def service_profile(mix: list) -> ServiceProfile:
+    """Derive a :class:`ServiceProfile` from a transaction mix.
+
+    A type's raw demand is its instruction-burst count (servlet +
+    container bursts for ECperf; code bursts plus tree/item work for
+    SPECjbb); the DB share of an ECperf type is the fraction of its
+    burst work spent on JDBC round trips while a pooled connection is
+    held.
+
+    >>> profile = service_profile(SPECJBB_MIX)
+    >>> max(profile.db_share) == 0.0   # SPECjbb: no out-of-process DB
+    True
+    """
+    if not mix:
+        raise ConfigError("empty transaction mix")
+    total_weight = sum(t.weight for t in mix)
+    probs = [t.weight / total_weight for t in mix]
+    raw = []
+    db_share = []
+    for t in mix:
+        if isinstance(t, EcperfTxnType):
+            bursts = t.servlet_bursts + t.container_bursts
+            raw.append(float(bursts + t.db_roundtrips_on_miss))
+            db_share.append(
+                t.db_roundtrips_on_miss
+                / (t.db_roundtrips_on_miss + bursts)
+            )
+        else:
+            raw.append(float(t.code_bursts + t.tree_visits + t.item_lookups))
+            db_share.append(0.0)
+    mean = sum(p * r for p, r in zip(probs, raw))
+    return ServiceProfile(
+        names=tuple(t.name for t in mix),
+        probs=tuple(probs),
+        weights=tuple(r / mean for r in raw),
+        db_share=tuple(db_share),
+    )
+
+
 def pick_txn(rng: np.random.Generator, mix: list) -> "JbbTxnType | EcperfTxnType":
     """Sample a transaction type proportionally to its weight."""
     if not mix:

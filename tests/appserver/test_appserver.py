@@ -47,13 +47,31 @@ def test_connection_pool_blocking():
 
 
 def test_wait_fraction_shape():
-    light = ConnectionPool.wait_fraction(2, 8, 0.5)
     heavy = ConnectionPool.wait_fraction(15, 8, 0.8)
-    assert light < 0.05
     assert heavy > 0.2
     assert ConnectionPool.wait_fraction(4, 8, 0.0) == 0.0
     with pytest.raises(ConfigError):
         ConnectionPool.wait_fraction(0, 8, 0.5)
+
+
+def test_wait_fraction_never_waits_with_a_connection_per_thread():
+    # A thread can always grab a dedicated connection: exactly zero
+    # wait whenever n_procs <= pool_size, including the degenerate
+    # single-client pool (the c=1 M/M/c edge).
+    assert ConnectionPool.wait_fraction(2, 8, 0.5) == 0.0
+    assert ConnectionPool.wait_fraction(8, 8, 1.0) == 0.0
+    assert ConnectionPool.wait_fraction(1, 1, 0.99) == 0.0
+    # One thread beyond the pool is where waiting may begin.
+    assert ConnectionPool.wait_fraction(9, 8, 1.0) > 0.0
+
+
+def test_connection_pool_peak_tracking():
+    pool = ConnectionPool(size=2)
+    assert pool.try_acquire() and pool.try_acquire()
+    assert not pool.try_acquire()
+    pool.release()
+    assert pool.try_acquire()
+    assert pool.peak_in_use == 2
 
 
 def test_bean_cache_hit_rate_interference():

@@ -1,0 +1,45 @@
+"""Frozen golden for ``jmmw loadplane --quick``.
+
+The load-plane report is seeded end-to-end — population placement,
+every exponential draw, the histogram bins, the table renderer — so
+its stdout is a content hash of the whole stack, exactly like the
+figure goldens.  Regenerate intentionally with::
+
+    pytest tests/loadplane/test_golden_report.py --update-goldens
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+
+GOLDEN = (
+    Path(__file__).parent.parent / "figures" / "goldens" / "loadplane.quick.txt"
+)
+
+
+def test_quick_report_matches_golden(capsys, request):
+    rc = main(["loadplane", "--quick", "--no-cache"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    if request.config.getoption("--update-goldens"):
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(out, encoding="utf-8")
+        import pytest
+
+        pytest.skip("golden for loadplane rewritten")
+    assert GOLDEN.exists(), (
+        f"missing golden {GOLDEN}; regenerate with pytest --update-goldens"
+    )
+    assert out == GOLDEN.read_text(encoding="utf-8"), (
+        "loadplane --quick stdout drifted from its golden; if the "
+        "change is intentional rerun with --update-goldens"
+    )
+
+
+def test_golden_carries_the_analysis_lines():
+    assert GOLDEN.exists(), "golden was never generated"
+    text = GOLDEN.read_text(encoding="utf-8")
+    assert "saturation sweep:" in text
+    assert "bottleneck: threads" in text
+    assert "measured knee:" in text
+    assert "*=measured" in text  # the ASCII curve rides along

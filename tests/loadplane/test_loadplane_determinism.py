@@ -1,0 +1,126 @@
+"""Determinism and memory bounds of the load plane.
+
+Two contracts:
+
+- **bit-parity** — the same sweep produces byte-identical reports
+  serial and under ``jobs=N`` (the harness re-seeds per task, and the
+  engine draws from one named stream per run), and rerunning the same
+  seed reproduces every number exactly;
+- **bounded RSS** — a million-user run costs the O(users) column
+  arrays and nothing more: subprocess probes (mirroring
+  ``tests/memsys/test_stream_memory.py``) compare ``ru_maxrss`` at
+  10^4 vs 10^6 users against a fixed budget.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.loadplane import SweepConfig, simulate_loadplane, sweep_tasks
+from repro.loadplane.sweep import run_saturation
+
+SMALL_SWEEP = SweepConfig(
+    populations=(8, 64, 512),
+    threads=4,
+    connections=2,
+    service_s=0.02,
+    think_s=0.8,
+    windows=4,
+    window_s=0.5,
+    seed=77,
+)
+
+
+def _report(jobs: int) -> str:
+    return run_saturation(SMALL_SWEEP, jobs=jobs).render()
+
+
+def test_serial_and_parallel_sweeps_are_bit_identical():
+    assert _report(jobs=1) == _report(jobs=3)
+
+
+def test_same_seed_reproduces_every_number():
+    a = run_saturation(SMALL_SWEEP, jobs=1)
+    b = run_saturation(SMALL_SWEEP, jobs=1)
+    for left, right in zip(a.results, b.results):
+        assert left.stable == right.stable
+        assert left.events == right.events
+    assert a.knee_users == b.knee_users
+
+
+def test_different_seed_perturbs_the_run():
+    import dataclasses
+
+    other = dataclasses.replace(SMALL_SWEEP, seed=78)
+    a = run_saturation(SMALL_SWEEP, jobs=1)
+    b = run_saturation(other, jobs=1)
+    assert any(
+        x.stable.completions != y.stable.completions
+        for x, y in zip(a.results, b.results)
+    )
+
+
+def test_sweep_tasks_have_distinct_cache_keys():
+    tasks = sweep_tasks(SMALL_SWEEP)
+    keys = {t.cache_key for t in tasks}
+    assert len(keys) == len(tasks)
+    assert all(t.cache_key for t in tasks)
+
+
+def test_single_run_is_deterministic_under_repetition():
+    config = SMALL_SWEEP.point(64)
+    first = simulate_loadplane(config)
+    second = simulate_loadplane(config)
+    assert first.stable == second.stable
+    assert [w.completions for w in first.windows] == [
+        w.completions for w in second.windows
+    ]
+
+
+# -- bounded RSS at a million users -----------------------------------------
+
+_PROBE = textwrap.dedent(
+    """
+    import resource, sys
+    from repro.loadplane import LoadPlaneConfig, simulate_loadplane
+
+    n_users = int(sys.argv[1])
+    result = simulate_loadplane(LoadPlaneConfig(
+        n_users=n_users, threads=8, connections=8, service_s=0.02,
+        think_s=1.2, windows=6, window_s=0.5, seed=11,
+    ))
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(peak_kb, result.stable.completions)
+    """
+)
+
+
+def _probe_rss(n_users: int) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    out = subprocess.run(
+        [sys.executable, "-c", _PROBE, str(n_users)],
+        capture_output=True, text=True, env=env, check=True, timeout=540,
+        cwd=str(Path(__file__).resolve().parents[2]),
+    )
+    peak_kb, completions = out.stdout.split()
+    assert int(completions) > 0
+    return int(peak_kb)
+
+
+def test_million_user_rss_within_budget_of_ten_thousand():
+    small_kb = _probe_rss(10_000)
+    large_kb = _probe_rss(1_000_000)
+    # The columns + pools cost ~58 MB per million users (26 B of
+    # columns plus four int64 side arrays).  Allow 2x for allocator
+    # and transient numpy scratch; anything like a per-user object
+    # model would blow past this by an order of magnitude.
+    assert large_kb - small_kb < 120 * 1024, (
+        f"RSS grew {large_kb - small_kb} KB from 1e4 to 1e6 users; "
+        f"the load plane must stay O(columns), not O(objects)"
+    )
+    assert large_kb < 400 * 1024, f"absolute peak {large_kb} KB too high"

@@ -36,3 +36,34 @@ def test_single_figure_quick(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_loadplane_tiny_ladder(capsys):
+    assert main([
+        "loadplane", "--users", "4", "16", "--threads", "2",
+        "--windows", "3", "--window-s", "0.5", "--no-cache", "--no-plot",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "saturation sweep:" in out
+    assert "bottleneck: threads" in out
+    assert "measured knee:" in out
+    assert "*=measured" not in out  # --no-plot suppresses the curve
+
+
+def test_loadplane_bad_config_exits_2(capsys):
+    assert main(["loadplane", "--users", "0", "--no-cache"]) == 2
+    assert "bad sweep configuration" in capsys.readouterr().err
+    assert main(["loadplane", "--users", "8", "8", "--no-cache"]) == 2
+    assert "distinct" in capsys.readouterr().err
+
+
+def test_loadplane_ecperf_reports_conn_utilization(capsys):
+    assert main([
+        "loadplane", "--workload", "ecperf", "--users", "64",
+        "--threads", "8", "--connections", "1", "--windows", "3",
+        "--window-s", "0.5", "--no-cache", "--no-plot",
+    ]) == 0
+    out = capsys.readouterr().out
+    # With one connection under ECperf load the DB stage shows up.
+    assert "workload=ecperf" in out
+    assert "U_conn" in out

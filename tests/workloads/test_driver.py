@@ -33,8 +33,14 @@ def test_required_concurrency_littles_law():
     driver = DriverModel(injection_rate=4, orders_per_ir_per_s=2.5, think_time_s=1.0)
     # X = 10 ops/s; N = X * (S + Z) = 10 * 1.5 = 15.
     assert driver.required_concurrency(0.5) == pytest.approx(15.0)
+
+
+def test_required_concurrency_zero_service_is_the_think_limit():
+    # An infinitely fast server still needs X * Z users in think.
+    driver = DriverModel(injection_rate=4, orders_per_ir_per_s=2.5, think_time_s=1.0)
+    assert driver.required_concurrency(0.0) == pytest.approx(10.0)
     with pytest.raises(ConfigError):
-        driver.required_concurrency(0.0)
+        driver.required_concurrency(-0.1)
 
 
 def test_driver_validation():
